@@ -1,0 +1,75 @@
+// Command benchtab regenerates the paper's evaluation artifacts: Table 1
+// (T1), the measured theorems (F2-F12) and the ablations (A1-A3). Each
+// experiment prints its tables and machine-checked shape verdicts; the
+// process exits nonzero if any verdict fails.
+//
+// Usage:
+//
+//	go run ./cmd/benchtab -experiment all          # everything (minutes)
+//	go run ./cmd/benchtab -experiment T1,F11       # a subset
+//	go run ./cmd/benchtab -list                    # what exists
+//	go run ./cmd/benchtab -experiment all -quick   # CI-sized sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"drrgossip/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "smaller sweeps (CI-sized)")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+		trials  = flag.Int("trials", 0, "override trials per configuration (0 = default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if strings.EqualFold(*expFlag, "all") {
+		selected = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			exp, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, exp)
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials}
+	failed := 0
+	for _, exp := range selected {
+		start := time.Now()
+		rep, err := exp.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s failed: %v\n", exp.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: %d experiment(s) had failing verdicts\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Command drrgossip runs one aggregate computation on a simulated network
+// and prints the result with its round/message bill — a quick way to see
+// the protocol's complexity profile.
+//
+// Usage:
+//
+//	go run ./cmd/drrgossip -n 10000 -agg average
+//	go run ./cmd/drrgossip -n 4096 -agg max -loss 0.1 -crash 0.2
+//	go run ./cmd/drrgossip -n 1024 -agg average -topology chord
+//	go run ./cmd/drrgossip -n 4096 -agg rank -arg 500
+//	go run ./cmd/drrgossip -n 4096 -agg quantile -arg 0.99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"drrgossip"
+	"drrgossip/internal/agg"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 4096, "number of nodes")
+		aggName  = flag.String("agg", "average", "aggregate: min|max|sum|count|average|rank|quantile")
+		arg      = flag.Float64("arg", 0.5, "rank threshold q, or quantile φ")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		loss     = flag.Float64("loss", 0, "per-message loss probability δ")
+		crash    = flag.Float64("crash", 0, "initial crash fraction")
+		topology = flag.String("topology", "complete", "complete|chord")
+		lo       = flag.Float64("lo", 0, "value range low")
+		hi       = flag.Float64("hi", 1000, "value range high")
+	)
+	flag.Parse()
+
+	cfg := drrgossip.Config{N: *n, Seed: *seed, Loss: *loss, CrashFraction: *crash}
+	switch strings.ToLower(*topology) {
+	case "complete":
+		cfg.Topology = drrgossip.Complete
+	case "chord":
+		cfg.Topology = drrgossip.Chord
+	default:
+		fmt.Fprintf(os.Stderr, "drrgossip: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+	values := agg.GenUniform(*n, *lo, *hi, *seed)
+
+	if strings.ToLower(*aggName) == "quantile" {
+		qres, err := drrgossip.Quantile(cfg, values, *arg, 0)
+		fail(err)
+		fmt.Printf("quantile(%.3g) ≈ %.6g  (%d aggregate runs, %d rounds, %d messages, %.2f msgs/node)\n",
+			*arg, qres.Value, qres.Runs, qres.Rounds, qres.Messages, float64(qres.Messages)/float64(*n))
+		return
+	}
+
+	var res *drrgossip.Result
+	var err error
+	var exact float64
+	switch strings.ToLower(*aggName) {
+	case "min":
+		res, err = drrgossip.Min(cfg, values)
+		exact = drrgossip.Exact(cfg, "min", values)
+	case "max":
+		res, err = drrgossip.Max(cfg, values)
+		exact = drrgossip.Exact(cfg, "max", values)
+	case "sum":
+		res, err = drrgossip.Sum(cfg, values)
+		exact = drrgossip.Exact(cfg, "sum", values)
+	case "count":
+		res, err = drrgossip.Count(cfg, values)
+		exact = drrgossip.Exact(cfg, "count", values)
+	case "average":
+		res, err = drrgossip.Average(cfg, values)
+		exact = drrgossip.Exact(cfg, "average", values)
+	case "rank":
+		res, err = drrgossip.Rank(cfg, values, *arg)
+		if err == nil {
+			exact = float64(int(rankExact(cfg, values, *arg)))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "drrgossip: unknown aggregate %q\n", *aggName)
+		os.Exit(2)
+	}
+	fail(err)
+
+	logn := math.Log2(float64(*n))
+	fmt.Printf("%s over %d nodes (%d alive, δ=%.3g, %s topology)\n",
+		*aggName, *n, res.Alive, *loss, *topology)
+	fmt.Printf("  value     %.6g   (exact %.6g, rel.err %.3g)\n", res.Value, exact, agg.RelError(res.Value, exact))
+	fmt.Printf("  consensus %v\n", res.Consensus)
+	fmt.Printf("  trees     %d   (n/log n = %.1f)\n", res.Trees, float64(*n)/logn)
+	fmt.Printf("  rounds    %d   (%.2f x log2 n)\n", res.Rounds, float64(res.Rounds)/logn)
+	fmt.Printf("  messages  %d   (%.2f per node; %d dropped)\n", res.Messages, float64(res.Messages)/float64(*n), res.Drops)
+}
+
+func rankExact(cfg drrgossip.Config, values []float64, q float64) float64 {
+	// Rank over surviving nodes: reuse the facade's crash model by
+	// counting via Exact on indicator values.
+	ind := agg.Indicator(values, q)
+	return drrgossip.Exact(cfg, "sum", ind)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drrgossip:", err)
+		os.Exit(1)
+	}
+}

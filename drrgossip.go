@@ -1,0 +1,434 @@
+// Package drrgossip is a Go implementation of "Optimal Gossip-Based
+// Aggregate Computation" (Chen & Pandurangan, SPAA 2010): the DRR-gossip
+// family of protocols, which compute common aggregates (Min, Max, Sum,
+// Count, Average, Rank) over an n-node network in O(log n) rounds using
+// O(n log log n) messages — time-optimal and within a log log n factor of
+// message-optimal.
+//
+// The package front-ends a discrete-event reproduction of the paper's
+// synchronous random phone call model: each call runs the full
+// distributed protocol (distributed random ranking, per-tree convergecast,
+// root-level gossip, dissemination) on a simulated network and reports
+// the computed aggregate together with the round and message bill.
+//
+//	res, err := drrgossip.Average(drrgossip.Config{N: 10000, Seed: 1}, values)
+//	// res.Value ≈ mean(values); res.Rounds = Θ(log n); res.Messages = Θ(n loglog n)
+//
+// Baselines from the paper's Table 1 (uniform gossip of Kempe et al.,
+// efficient gossip of Kashyap et al.), the sparse-network variant on a
+// Chord overlay (Section 4), and the address-oblivious lower-bound
+// harness (Section 5) live under internal/ and are exercised by the
+// benchmark harness (cmd/benchtab) and the bench suite (bench_test.go).
+package drrgossip
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"drrgossip/internal/agg"
+	"drrgossip/internal/chord"
+	core "drrgossip/internal/drrgossip"
+	"drrgossip/internal/sim"
+)
+
+// Topology selects the communication substrate.
+type Topology int
+
+const (
+	// Complete is the paper's main model: any node can call any other
+	// (random phone call model).
+	Complete Topology = iota
+	// Chord runs the Section 4 sparse-network variant on a Chord overlay:
+	// Local-DRR over finger links and routed gossip between tree roots.
+	Chord
+)
+
+// Config describes the simulated network.
+type Config struct {
+	// N is the number of nodes (>= 2).
+	N int
+	// Seed makes runs reproducible; equal configs and seeds give
+	// identical results.
+	Seed uint64
+	// Loss is the per-message drop probability δ ∈ [0, 1). The paper's
+	// analysis admits δ < 1/8.
+	Loss float64
+	// CrashFraction crashes this fraction of nodes before the protocol
+	// starts (the paper's initial-crash failure model). Aggregates are
+	// then computed over the surviving nodes. Not supported on Chord.
+	CrashFraction float64
+	// Topology selects Complete (default) or Chord.
+	Topology Topology
+	// ChordBits sets the Chord identifier width (0 = 40).
+	ChordBits int
+	// ChordHashed places Chord identifiers pseudo-randomly instead of
+	// evenly (more realistic, slightly non-uniform sampling).
+	ChordHashed bool
+}
+
+// Result reports one aggregate computation.
+type Result struct {
+	// Value is the network's consensus value for the aggregate.
+	Value float64
+	// PerNode is each node's final value; NaN for crashed nodes.
+	PerNode []float64
+	// Consensus reports whether all surviving nodes agree exactly.
+	Consensus bool
+	// Rounds and Messages are the protocol's cost in the paper's model
+	// (every transmission attempt counts one message).
+	Rounds   int
+	Messages int64
+	// Drops counts messages lost to link failure.
+	Drops int64
+	// Trees is the number of DRR trees built in Phase I.
+	Trees int
+	// Alive is the number of surviving nodes the aggregate ranges over.
+	Alive int
+}
+
+// ErrBadConfig reports an invalid Config.
+var ErrBadConfig = errors.New("drrgossip: invalid config")
+
+func (c Config) validate(values []float64) error {
+	if c.N < 2 {
+		return fmt.Errorf("%w: N must be >= 2, got %d", ErrBadConfig, c.N)
+	}
+	if len(values) != c.N {
+		return fmt.Errorf("%w: %d values for N=%d", ErrBadConfig, len(values), c.N)
+	}
+	if c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("%w: Loss must be in [0,1)", ErrBadConfig)
+	}
+	if c.CrashFraction < 0 || c.CrashFraction >= 1 {
+		return fmt.Errorf("%w: CrashFraction must be in [0,1)", ErrBadConfig)
+	}
+	if c.Topology == Chord && c.CrashFraction != 0 {
+		return fmt.Errorf("%w: Chord does not support crashes (routing repair out of scope)", ErrBadConfig)
+	}
+	if c.Topology != Complete && c.Topology != Chord {
+		return fmt.Errorf("%w: unknown topology %d", ErrBadConfig, c.Topology)
+	}
+	return nil
+}
+
+func (c Config) engine() *sim.Engine {
+	return sim.NewEngine(c.N, sim.Options{Seed: c.Seed, Loss: c.Loss, CrashFrac: c.CrashFraction})
+}
+
+func (c Config) ring() (*chord.Ring, error) {
+	placement := chord.Even
+	if c.ChordHashed {
+		placement = chord.Hashed
+	}
+	return chord.New(c.N, chord.Options{Bits: c.ChordBits, Placement: placement, Seed: c.Seed})
+}
+
+func wrap(eng *sim.Engine, res *core.Result) *Result {
+	return &Result{
+		Value:     res.Value,
+		PerNode:   res.PerNode,
+		Consensus: res.Consensus,
+		Rounds:    res.Stats.Rounds,
+		Messages:  res.Stats.Messages,
+		Drops:     res.Stats.Drops,
+		Trees:     res.Forest.NumTrees(),
+		Alive:     eng.NumAlive(),
+	}
+}
+
+// run dispatches one aggregate computation per the configured topology.
+func (c Config) run(values []float64,
+	complete func(*sim.Engine) (*core.Result, error),
+	sparse func(*sim.Engine, *chord.Ring) (*core.Result, error),
+) (*Result, error) {
+	if err := c.validate(values); err != nil {
+		return nil, err
+	}
+	eng := c.engine()
+	if c.Topology == Complete {
+		res, err := complete(eng)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(eng, res), nil
+	}
+	ring, err := c.ring()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sparse(eng, ring)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(eng, res), nil
+}
+
+// Max computes the global maximum with DRR-gossip-max (Algorithm 7).
+func Max(cfg Config, values []float64) (*Result, error) {
+	return cfg.run(values,
+		func(eng *sim.Engine) (*core.Result, error) {
+			return core.Max(eng, values, core.Options{})
+		},
+		func(eng *sim.Engine, ring *chord.Ring) (*core.Result, error) {
+			return core.MaxOnChord(eng, ring, values, core.SparseOptions{})
+		})
+}
+
+// Min computes the global minimum.
+func Min(cfg Config, values []float64) (*Result, error) {
+	return cfg.run(values,
+		func(eng *sim.Engine) (*core.Result, error) {
+			return core.Min(eng, values, core.Options{})
+		},
+		func(eng *sim.Engine, ring *chord.Ring) (*core.Result, error) {
+			neg := make([]float64, len(values))
+			for i, v := range values {
+				neg[i] = -v
+			}
+			res, err := core.MaxOnChord(eng, ring, neg, core.SparseOptions{})
+			if err != nil {
+				return nil, err
+			}
+			res.Value = -res.Value
+			for i := range res.PerNode {
+				res.PerNode[i] = -res.PerNode[i]
+			}
+			return res, nil
+		})
+}
+
+// Average computes the global average with DRR-gossip-ave (Algorithm 8).
+func Average(cfg Config, values []float64) (*Result, error) {
+	return cfg.run(values,
+		func(eng *sim.Engine) (*core.Result, error) {
+			return core.Ave(eng, values, core.Options{})
+		},
+		func(eng *sim.Engine, ring *chord.Ring) (*core.Result, error) {
+			return core.AveOnChord(eng, ring, values, core.SparseOptions{})
+		})
+}
+
+// Sum computes the global sum (distinguished-root push-sum; Complete
+// topology only).
+func Sum(cfg Config, values []float64) (*Result, error) {
+	if cfg.Topology != Complete {
+		return nil, fmt.Errorf("%w: Sum is implemented on the Complete topology", ErrBadConfig)
+	}
+	return cfg.run(values,
+		func(eng *sim.Engine) (*core.Result, error) {
+			return core.Sum(eng, values, core.Options{})
+		}, nil)
+}
+
+// Count computes the number of surviving nodes (Complete topology only).
+func Count(cfg Config, values []float64) (*Result, error) {
+	if cfg.Topology != Complete {
+		return nil, fmt.Errorf("%w: Count is implemented on the Complete topology", ErrBadConfig)
+	}
+	return cfg.run(values,
+		func(eng *sim.Engine) (*core.Result, error) {
+			return core.Count(eng, values, core.Options{})
+		}, nil)
+}
+
+// Rank computes Rank(q) = |{alive i : values[i] <= q}| (Complete topology
+// only).
+func Rank(cfg Config, values []float64, q float64) (*Result, error) {
+	if cfg.Topology != Complete {
+		return nil, fmt.Errorf("%w: Rank is implemented on the Complete topology", ErrBadConfig)
+	}
+	return cfg.run(values,
+		func(eng *sim.Engine) (*core.Result, error) {
+			return core.Rank(eng, values, q, core.Options{})
+		}, nil)
+}
+
+// HistogramResult reports a distributed histogram computation.
+type HistogramResult struct {
+	// Counts[i] is the number of surviving nodes with value in
+	// (edges[i], edges[i+1]]; Counts[0] covers (-inf, edges[0]] and
+	// Counts[len(edges)] covers (edges[len(edges)-1], +inf).
+	Counts []float64
+	// Runs, Rounds and Messages accumulate over the per-edge Rank runs.
+	Runs     int
+	Rounds   int
+	Messages int64
+}
+
+// Histogram computes a k+1-bucket histogram of the values with one Rank
+// aggregation per bucket edge (edges must be strictly increasing) —
+// bounded messages throughout, O(k log n) rounds and O(k n loglog n)
+// messages total. Complete topology only.
+func Histogram(cfg Config, values []float64, edges []float64) (*HistogramResult, error) {
+	if cfg.Topology != Complete {
+		return nil, fmt.Errorf("%w: Histogram is implemented on the Complete topology", ErrBadConfig)
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("%w: Histogram needs at least one edge", ErrBadConfig)
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("%w: histogram edges must be strictly increasing", ErrBadConfig)
+		}
+	}
+	hr := &HistogramResult{Counts: make([]float64, len(edges)+1)}
+	cum := make([]float64, len(edges))
+	for i, edge := range edges {
+		// Every per-edge run uses cfg verbatim: the engine's crash set is
+		// derived from the seed, and all steps must count over the same
+		// surviving population or the bucket differences become
+		// inconsistent.
+		res, err := Rank(cfg, values, edge)
+		if err != nil {
+			return nil, fmt.Errorf("histogram edge %v: %w", edge, err)
+		}
+		cum[i] = math.Round(res.Value)
+		hr.Runs++
+		hr.Rounds += res.Rounds
+		hr.Messages += res.Messages
+	}
+	hr.Counts[0] = cum[0]
+	for i := 1; i < len(edges); i++ {
+		hr.Counts[i] = cum[i] - cum[i-1]
+	}
+	// Last (open) bucket: alive count minus everything below; take the
+	// alive count from the last Rank run's engine configuration.
+	alive := float64(cfg.engine().NumAlive())
+	hr.Counts[len(edges)] = alive - cum[len(edges)-1]
+	return hr, nil
+}
+
+// MomentsResult reports a mean-and-variance computation.
+type MomentsResult struct {
+	// Mean and Variance are the consensus estimates (population
+	// variance); Std = sqrt(max(Variance, 0)).
+	Mean, Variance, Std float64
+	Consensus           bool
+	Rounds              int
+	Messages            int64
+}
+
+// Moments computes the global mean and variance in a single protocol run
+// (a three-component extension of DRR-gossip-ave; Complete topology
+// only).
+func Moments(cfg Config, values []float64) (*MomentsResult, error) {
+	if cfg.Topology != Complete {
+		return nil, fmt.Errorf("%w: Moments is implemented on the Complete topology", ErrBadConfig)
+	}
+	if err := cfg.validate(values); err != nil {
+		return nil, err
+	}
+	eng := cfg.engine()
+	res, err := core.Moments(eng, values, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &MomentsResult{
+		Mean:      res.Mean,
+		Variance:  res.Variance,
+		Std:       res.Std,
+		Consensus: res.Consensus,
+		Rounds:    res.Stats.Rounds,
+		Messages:  res.Stats.Messages,
+	}, nil
+}
+
+// QuantileResult reports an approximate quantile computation.
+type QuantileResult struct {
+	// Value approximates the φ-quantile within Tolerance of the value
+	// range.
+	Value float64
+	// Runs is the number of full aggregate computations performed
+	// (2 for Min/Max + Count + one Rank per bisection step).
+	Runs int
+	// Rounds and Messages accumulate over all runs.
+	Rounds   int
+	Messages int64
+}
+
+// Quantile approximates the φ-quantile (0 < φ <= 1) by bisection over the
+// value range, spending one Rank computation per step — the paper's "Rank
+// etc." reduction, with O(log(range/tol)) aggregate rounds total. The
+// result is within tol of a true φ-quantile value; tol <= 0 picks
+// range/2^20.
+func Quantile(cfg Config, values []float64, phi, tol float64) (*QuantileResult, error) {
+	if phi <= 0 || phi > 1 {
+		return nil, fmt.Errorf("%w: phi must be in (0,1]", ErrBadConfig)
+	}
+	if cfg.Topology != Complete {
+		return nil, fmt.Errorf("%w: Quantile is implemented on the Complete topology", ErrBadConfig)
+	}
+	qr := &QuantileResult{}
+	// Every step runs with cfg verbatim so all steps see the same crash
+	// set (the surviving population the quantile ranges over); repeating
+	// the protocol's randomness across steps is harmless.
+	step := func(kind string, f func(Config) (*Result, error)) (*Result, error) {
+		res, err := f(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("quantile %s step: %w", kind, err)
+		}
+		qr.Runs++
+		qr.Rounds += res.Rounds
+		qr.Messages += res.Messages
+		return res, nil
+	}
+	minRes, err := step("min", func(c Config) (*Result, error) { return Min(c, values) })
+	if err != nil {
+		return nil, err
+	}
+	maxRes, err := step("max", func(c Config) (*Result, error) { return Max(c, values) })
+	if err != nil {
+		return nil, err
+	}
+	countRes, err := step("count", func(c Config) (*Result, error) { return Count(c, values) })
+	if err != nil {
+		return nil, err
+	}
+	target := math.Ceil(phi * math.Round(countRes.Value))
+	lo, hi := minRes.Value, maxRes.Value
+	if tol <= 0 {
+		tol = (hi - lo) / (1 << 20)
+	}
+	if tol <= 0 { // constant values
+		qr.Value = lo
+		return qr, nil
+	}
+	for hi-lo > tol && qr.Runs < 80 {
+		mid := lo + (hi-lo)/2
+		rankRes, err := step("rank", func(c Config) (*Result, error) { return Rank(c, values, mid) })
+		if err != nil {
+			return nil, err
+		}
+		if math.Round(rankRes.Value) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	qr.Value = hi
+	return qr, nil
+}
+
+// Exact returns the reference value of an aggregate over the values that
+// survive cfg's crash model — what the protocol should converge to. Kind
+// is one of "min", "max", "sum", "count", "average"; it panics on other
+// kinds (use Rank/Quantile directly).
+func Exact(cfg Config, kind string, values []float64) float64 {
+	eng := cfg.engine()
+	alive := agg.Subset(values, eng.AliveIDs())
+	switch kind {
+	case "min":
+		return agg.Exact(agg.Min, alive, 0)
+	case "max":
+		return agg.Exact(agg.Max, alive, 0)
+	case "sum":
+		return agg.Exact(agg.Sum, alive, 0)
+	case "count":
+		return agg.Exact(agg.Count, alive, 0)
+	case "average":
+		return agg.Exact(agg.Average, alive, 0)
+	default:
+		panic("drrgossip: unknown aggregate kind " + kind)
+	}
+}

@@ -1,0 +1,79 @@
+// Telemetry: a cluster-monitoring scenario that exercises the extended
+// aggregates. A datacenter of machines reports per-node request latency;
+// the operator wants mean AND variance (for an SLO alarm on tail
+// behaviour) in one in-network protocol run, plus an elected coordinator
+// (the paper's §6 outlook: DRR as a tool for other distributed problems).
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"drrgossip"
+	"drrgossip/internal/drrapps"
+	"drrgossip/internal/sim"
+	"drrgossip/internal/xrand"
+)
+
+func main() {
+	const machines = 4096
+	const seed = 2718
+
+	// Latency model: log-normal-ish — a healthy bulk around 12ms with a
+	// slow tail.
+	rng := xrand.New(seed)
+	latency := make([]float64, machines)
+	for i := range latency {
+		z := rng.Float64() + rng.Float64() + rng.Float64() - 1.5 // ~normal
+		latency[i] = 12 * math.Exp(0.4*z)
+	}
+
+	cfg := drrgossip.Config{N: machines, Seed: seed, Loss: 0.02}
+	fmt.Printf("telemetry over %d machines (δ=0.02)\n\n", machines)
+
+	// Mean and variance in a single protocol run (three-component
+	// push-sum: Σv, Σv², weight all ride one bounded message).
+	mom, err := drrgossip.Moments(cfg, latency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("latency mean     %6.2f ms\n", mom.Mean)
+	fmt.Printf("latency stddev   %6.2f ms\n", mom.Std)
+	fmt.Printf("consensus        %v, %d rounds, %.1f msgs/machine\n\n",
+		mom.Consensus, mom.Rounds, float64(mom.Messages)/machines)
+
+	// SLO check: how many machines exceed mean + 2σ right now?
+	slo := mom.Mean + 2*mom.Std
+	over, err := drrgossip.Rank(cfg, latency, slo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot := machines - int(math.Round(over.Value))
+	fmt.Printf("machines above mean+2σ (%.1f ms): %d (%.2f%%)\n\n",
+		slo, hot, 100*float64(hot)/machines)
+
+	// Elect a coordinator for follow-up work (e.g. collecting profiles
+	// from the hot machines): DRR's random ranks double as election
+	// ballots — O(log n) rounds, O(n loglog n) messages.
+	eng := sim.NewEngine(machines, sim.Options{Seed: seed, Loss: 0.02})
+	el, err := drrapps.ElectLeader(eng, drrapps.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("elected coordinator: machine %d (consensus %v)\n", el.Leader, el.Consensus)
+	fmt.Printf("election cost: %d rounds, %.1f msgs/machine\n",
+		el.Stats.Rounds, float64(el.Stats.Messages)/machines)
+
+	// And a spanning tree rooted at the coordinator for subsequent
+	// structured collection.
+	eng2 := sim.NewEngine(machines, sim.Options{Seed: seed + 1})
+	span, err := drrapps.BuildSpanningTree(eng2, drrapps.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spanning tree: depth %d (log2 n = %.1f), rooted at machine %d\n",
+		span.Depth, math.Log2(machines), span.Leader)
+}

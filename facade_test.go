@@ -1,0 +1,355 @@
+package drrgossip
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drrgossip/internal/agg"
+)
+
+func uniformValues(n int, seed uint64) []float64 {
+	return agg.GenUniform(n, 0, 1000, seed)
+}
+
+func TestMaxFacade(t *testing.T) {
+	cfg := Config{N: 1024, Seed: 1}
+	values := uniformValues(1024, 2)
+	res, err := Max(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != Exact(cfg, "max", values) {
+		t.Fatalf("Max = %v, want %v", res.Value, Exact(cfg, "max", values))
+	}
+	if !res.Consensus || res.Trees == 0 || res.Rounds == 0 || res.Messages == 0 {
+		t.Fatalf("result fields missing: %+v", res)
+	}
+	if res.Alive != 1024 {
+		t.Fatalf("Alive = %d", res.Alive)
+	}
+}
+
+func TestMinFacade(t *testing.T) {
+	cfg := Config{N: 512, Seed: 3}
+	values := uniformValues(512, 4)
+	res, err := Min(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != Exact(cfg, "min", values) {
+		t.Fatalf("Min = %v", res.Value)
+	}
+}
+
+func TestAverageFacade(t *testing.T) {
+	cfg := Config{N: 1024, Seed: 5}
+	values := uniformValues(1024, 6)
+	res, err := Average(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Exact(cfg, "average", values)
+	if agg.RelError(res.Value, want) > 1e-6 {
+		t.Fatalf("Average = %v, want %v", res.Value, want)
+	}
+}
+
+func TestSumCountFacade(t *testing.T) {
+	cfg := Config{N: 512, Seed: 7}
+	values := uniformValues(512, 8)
+	sum, err := Sum(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.RelError(sum.Value, Exact(cfg, "sum", values)) > 1e-6 {
+		t.Fatalf("Sum = %v", sum.Value)
+	}
+	count, err := Count(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.RelError(count.Value, 512) > 1e-6 {
+		t.Fatalf("Count = %v", count.Value)
+	}
+}
+
+func TestRankFacade(t *testing.T) {
+	cfg := Config{N: 512, Seed: 9}
+	values := uniformValues(512, 10)
+	q := 300.0
+	res, err := Rank(cfg, values, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.Exact(agg.Rank, values, q)
+	if agg.RelError(res.Value, want) > 1e-6 {
+		t.Fatalf("Rank = %v, want %v", res.Value, want)
+	}
+}
+
+func TestQuantileFacade(t *testing.T) {
+	cfg := Config{N: 512, Seed: 11}
+	values := uniformValues(512, 12)
+	res, err := Quantile(cfg, values, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.Quantile(values, 0.5)
+	if math.Abs(res.Value-want) > 5 {
+		t.Fatalf("median ≈ %v, want ~%v", res.Value, want)
+	}
+	if res.Runs < 4 || res.Messages == 0 {
+		t.Fatalf("quantile accounting off: %+v", res)
+	}
+}
+
+func TestChordTopologyFacade(t *testing.T) {
+	cfg := Config{N: 512, Seed: 13, Topology: Chord}
+	values := uniformValues(512, 14)
+	res, err := Max(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != Exact(cfg, "max", values) || !res.Consensus {
+		t.Fatalf("chord Max = %v", res.Value)
+	}
+	avg, err := Average(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.RelError(avg.Value, Exact(cfg, "average", values)) > 1e-5 {
+		t.Fatalf("chord Average = %v", avg.Value)
+	}
+	mn, err := Min(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn.Value != Exact(cfg, "min", values) {
+		t.Fatalf("chord Min = %v", mn.Value)
+	}
+}
+
+func TestFailuresFacade(t *testing.T) {
+	cfg := Config{N: 2048, Seed: 15, Loss: 0.1, CrashFraction: 0.2}
+	values := uniformValues(2048, 16)
+	res, err := Max(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != Exact(cfg, "max", values) {
+		t.Fatalf("Max under failures = %v", res.Value)
+	}
+	if res.Alive >= 2048 || res.Drops == 0 {
+		t.Fatalf("failure accounting off: alive=%d drops=%d", res.Alive, res.Drops)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	values := uniformValues(8, 1)
+	cases := []Config{
+		{N: 1, Seed: 1},
+		{N: 8, Seed: 1, Loss: 1.0},
+		{N: 8, Seed: 1, Loss: -0.5},
+		{N: 8, Seed: 1, CrashFraction: 1.0},
+		{N: 8, Seed: 1, Topology: Chord, CrashFraction: 0.5},
+		{N: 8, Seed: 1, Topology: Topology(42)},
+	}
+	for i, cfg := range cases {
+		vals := values
+		if cfg.N == 1 {
+			vals = values[:1]
+		}
+		if _, err := Max(cfg, vals); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: error = %v, want ErrBadConfig", i, err)
+		}
+	}
+	if _, err := Max(Config{N: 8, Seed: 1}, values[:4]); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("length mismatch not rejected")
+	}
+	if _, err := Sum(Config{N: 8, Seed: 1, Topology: Chord}, values); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("chord Sum not rejected")
+	}
+	if _, err := Quantile(Config{N: 8, Seed: 1}, values, 1.5, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("phi out of range not rejected")
+	}
+}
+
+func TestDeterministicFacade(t *testing.T) {
+	cfg := Config{N: 512, Seed: 17}
+	values := uniformValues(512, 18)
+	a, err := Average(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Average(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Messages != b.Messages || a.Rounds != b.Rounds {
+		t.Fatal("facade runs not reproducible")
+	}
+}
+
+func TestExactPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exact with unknown kind did not panic")
+		}
+	}()
+	Exact(Config{N: 4, Seed: 1}, "median", make([]float64, 4))
+}
+
+// Property: for random seeds, Max/Min/Average stay correct and consistent
+// (Min <= Average <= Max) through the public API.
+func TestFacadeProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		cfg := Config{N: 256, Seed: uint64(seed)}
+		values := uniformValues(256, uint64(seed)+99)
+		mx, err := Max(cfg, values)
+		if err != nil {
+			return false
+		}
+		mn, err := Min(cfg, values)
+		if err != nil {
+			return false
+		}
+		av, err := Average(cfg, values)
+		if err != nil {
+			return false
+		}
+		return mn.Value <= av.Value && av.Value <= mx.Value &&
+			mx.Value == Exact(cfg, "max", values) &&
+			mn.Value == Exact(cfg, "min", values)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramFacade(t *testing.T) {
+	cfg := Config{N: 1024, Seed: 19}
+	values := uniformValues(1024, 20) // uniform [0,1000)
+	edges := []float64{250, 500, 750}
+	res, err := Histogram(cfg, values, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) != 4 {
+		t.Fatalf("bucket count %d", len(res.Counts))
+	}
+	total := 0.0
+	for b, c := range res.Counts {
+		if c < 0 {
+			t.Fatalf("negative bucket %d: %v", b, c)
+		}
+		total += c
+	}
+	if total != 1024 {
+		t.Fatalf("histogram total %v != n", total)
+	}
+	// Cross-check each bucket against the exact counts.
+	exact := make([]float64, 4)
+	for _, v := range values {
+		switch {
+		case v <= 250:
+			exact[0]++
+		case v <= 500:
+			exact[1]++
+		case v <= 750:
+			exact[2]++
+		default:
+			exact[3]++
+		}
+	}
+	for b := range exact {
+		if math.Abs(res.Counts[b]-exact[b]) > 0.5 {
+			t.Fatalf("bucket %d = %v, want %v", b, res.Counts[b], exact[b])
+		}
+	}
+	if res.Runs != 3 || res.Messages == 0 {
+		t.Fatalf("accounting off: %+v", res)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	cfg := Config{N: 64, Seed: 21}
+	values := uniformValues(64, 22)
+	if _, err := Histogram(cfg, values, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("empty edges accepted")
+	}
+	if _, err := Histogram(cfg, values, []float64{5, 5}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("non-increasing edges accepted")
+	}
+	chordCfg := cfg
+	chordCfg.Topology = Chord
+	if _, err := Histogram(chordCfg, values, []float64{5}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("chord histogram accepted")
+	}
+}
+
+func TestLargeNetworkStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	// One big end-to-end run: 65536 nodes, loss, crashes.
+	n := 1 << 16
+	cfg := Config{N: n, Seed: 23, Loss: 0.05, CrashFraction: 0.1}
+	values := uniformValues(n, 24)
+	res, err := Max(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != Exact(cfg, "max", values) || !res.Consensus {
+		t.Fatalf("large-n Max = %v (consensus %v)", res.Value, res.Consensus)
+	}
+	// The paper's bounds at scale: rounds ~ log n, msgs/node ~ loglog n.
+	if float64(res.Rounds) > 25*math.Log2(float64(n)) {
+		t.Fatalf("rounds %d at n=64k", res.Rounds)
+	}
+	if perNode := float64(res.Messages) / float64(n); perNode > 50 {
+		t.Fatalf("msgs/node %v at n=64k", perNode)
+	}
+}
+
+func TestQuantileWithCrashes(t *testing.T) {
+	// Regression: every bisection step must range over the SAME surviving
+	// population (the crash set is seed-derived, so per-step seed changes
+	// would make the search inconsistent).
+	cfg := Config{N: 1024, Seed: 25, CrashFraction: 0.25}
+	values := uniformValues(1024, 26)
+	res, err := Quantile(cfg, values, 0.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := agg.Subset(values, aliveIdx(cfg, len(values)))
+	want := agg.Quantile(alive, 0.5)
+	if math.Abs(res.Value-want) > 10 {
+		t.Fatalf("median over survivors ≈ %v, want ~%v", res.Value, want)
+	}
+}
+
+func TestHistogramWithCrashes(t *testing.T) {
+	cfg := Config{N: 1024, Seed: 27, CrashFraction: 0.2}
+	values := uniformValues(1024, 28)
+	res, err := Histogram(cfg, values, []float64{333, 666})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for b, c := range res.Counts {
+		if c < 0 {
+			t.Fatalf("negative bucket %d: %v (inconsistent crash sets)", b, c)
+		}
+		total += c
+	}
+	if total != Exact(cfg, "count", values) {
+		t.Fatalf("histogram total %v != alive count %v", total, Exact(cfg, "count", values))
+	}
+}
+
+// aliveIdx reproduces the engine's crash set for reference computations.
+func aliveIdx(cfg Config, n int) []int {
+	return cfg.engine().AliveIDs()
+}

@@ -1,0 +1,214 @@
+package drrgossip
+
+import (
+	"math"
+	"testing"
+
+	"drrgossip/internal/agg"
+	"drrgossip/internal/chord"
+	core "drrgossip/internal/drrgossip"
+	"drrgossip/internal/kashyap"
+	"drrgossip/internal/kempe"
+	"drrgossip/internal/pietro"
+	"drrgossip/internal/sim"
+)
+
+// Integration tests: the three Table 1 algorithms (plus the clusterhead
+// heuristic) must agree with each other and with the exact aggregate on
+// identical inputs, across failure configurations and topologies.
+
+func TestAllAlgorithmsAgreeOnMax(t *testing.T) {
+	n := 2048
+	values := agg.GenUniform(n, -1000, 1000, 61)
+	want := agg.Exact(agg.Max, values, 0)
+
+	dres, err := core.Max(sim.NewEngine(n, sim.Options{Seed: 62}), values, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kres, err := kashyap.Max(sim.NewEngine(n, sim.Options{Seed: 63}), values, kashyap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := kempe.PushMax(sim.NewEngine(n, sim.Options{Seed: 64}), values, kempe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := pietro.Max(sim.NewEngine(n, sim.Options{Seed: 65}), values, pietro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Value != want || kres.Value != want || pres.Value != want {
+		t.Fatalf("disagreement: drr %v, kashyap %v, pietro %v, want %v",
+			dres.Value, kres.Value, pres.Value, want)
+	}
+	for i, v := range mres.Estimates {
+		if v != want {
+			t.Fatalf("kempe node %d has %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestAllAlgorithmsAgreeOnAverage(t *testing.T) {
+	n := 2048
+	values := agg.GenSigned(n, 500, 66)
+	want := agg.Exact(agg.Average, values, 0)
+	tol := 1e-5
+
+	dres, err := core.Ave(sim.NewEngine(n, sim.Options{Seed: 67}), values, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kres, err := kashyap.Ave(sim.NewEngine(n, sim.Options{Seed: 68}), values, kashyap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := kempe.PushSum(sim.NewEngine(n, sim.Options{Seed: 69}), values, kempe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]float64{
+		"drr": dres.Value, "kashyap": kres.Value, "kempe": mres.Estimates[0],
+	} {
+		if math.Abs(got-want) > tol*math.Max(math.Abs(want), 1) {
+			t.Fatalf("%s average %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestMessageOrderingAtScale(t *testing.T) {
+	// The Table 1 ordering must hold head-to-head on one seed at a size
+	// where the asymptotics have separated: kempe spends more messages
+	// than drr; drr and kempe finish faster than kashyap.
+	n := 16384
+	values := agg.GenUniform(n, 0, 1, 70)
+
+	dres, err := core.Ave(sim.NewEngine(n, sim.Options{Seed: 71}), values, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kres, err := kashyap.Ave(sim.NewEngine(n, sim.Options{Seed: 72}), values, kashyap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := kempe.PushSum(sim.NewEngine(n, sim.Options{Seed: 73}), values, kempe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Stats.Messages <= dres.Stats.Messages {
+		t.Fatalf("kempe messages %d <= drr %d at n=%d",
+			mres.Stats.Messages, dres.Stats.Messages, n)
+	}
+	if dres.Stats.Rounds >= kres.Stats.Rounds {
+		t.Fatalf("drr rounds %d >= kashyap %d", dres.Stats.Rounds, kres.Stats.Rounds)
+	}
+	if mres.Stats.Rounds >= kres.Stats.Rounds {
+		t.Fatalf("kempe rounds %d >= kashyap %d", mres.Stats.Rounds, kres.Stats.Rounds)
+	}
+}
+
+func TestCompleteAndChordAgree(t *testing.T) {
+	// The same aggregate through both topologies of the public API.
+	n := 512
+	values := agg.GenUniform(n, 0, 100, 74)
+	complete, err := Average(Config{N: n, Seed: 75}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chordRes, err := Average(Config{N: n, Seed: 76, Topology: Chord}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(complete.Value-chordRes.Value) > 1e-3 {
+		t.Fatalf("topologies disagree: complete %v, chord %v", complete.Value, chordRes.Value)
+	}
+	// Chord pays more rounds (routing) but its correctness matches.
+	if chordRes.Rounds <= complete.Rounds {
+		t.Fatalf("chord rounds %d <= complete rounds %d", chordRes.Rounds, complete.Rounds)
+	}
+}
+
+func TestChordDRRBeatsChordUniformOnMessages(t *testing.T) {
+	n := 1024
+	ring, err := chord.New(n, chord.Options{Bits: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := agg.GenUniform(n, 0, 100, 77)
+	dres, err := core.MaxOnChord(sim.NewEngine(n, sim.Options{Seed: 78}), ring, values, core.SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ures, err := kempe.PushMaxOnChord(sim.NewEngine(n, sim.Options{Seed: 79}), ring, values, kempe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ures.Stats.Messages <= 2*dres.Stats.Messages {
+		t.Fatalf("uniform-on-chord %d messages vs drr-on-chord %d: expected a clear gap",
+			ures.Stats.Messages, dres.Stats.Messages)
+	}
+}
+
+func TestMomentsFacade(t *testing.T) {
+	n := 1024
+	values := agg.GenUniform(n, 0, 100, 80)
+	res, err := Moments(Config{N: n, Seed: 81}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := agg.Exact(agg.Average, values, 0)
+	s2 := 0.0
+	for _, v := range values {
+		s2 += v * v
+	}
+	wantVar := s2/float64(n) - wantMean*wantMean
+	if agg.RelError(res.Mean, wantMean) > 1e-6 {
+		t.Fatalf("Mean = %v, want %v", res.Mean, wantMean)
+	}
+	if agg.RelError(res.Variance, wantVar) > 1e-6 {
+		t.Fatalf("Variance = %v, want %v", res.Variance, wantVar)
+	}
+	if !res.Consensus || res.Messages == 0 {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+	if _, err := Moments(Config{N: n, Seed: 81, Topology: Chord}, values); err == nil {
+		t.Fatal("chord Moments should be rejected")
+	}
+}
+
+func TestFullStackUnderAdversity(t *testing.T) {
+	// Everything at once: loss at the paper's bound, 20% initial crashes,
+	// every facade aggregate, one seed.
+	n := 4096
+	cfg := Config{N: n, Seed: 82, Loss: 0.125, CrashFraction: 0.2}
+	values := agg.GenUniform(n, -50, 150, 83)
+
+	mx, err := Max(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.Value != Exact(cfg, "max", values) || !mx.Consensus {
+		t.Fatalf("Max = %v (consensus %v)", mx.Value, mx.Consensus)
+	}
+	mn, err := Min(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn.Value != Exact(cfg, "min", values) {
+		t.Fatalf("Min = %v", mn.Value)
+	}
+	av, err := Average(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.RelError(av.Value, Exact(cfg, "average", values)) > 0.05 {
+		t.Fatalf("Average = %v, want %v", av.Value, Exact(cfg, "average", values))
+	}
+	ct, err := Count(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.RelError(ct.Value, Exact(cfg, "count", values)) > 0.02 {
+		t.Fatalf("Count = %v, want %v", ct.Value, Exact(cfg, "count", values))
+	}
+}

@@ -1,0 +1,280 @@
+// Package chord implements the Chord distributed hash table overlay
+// (Stoica et al., SIGCOMM 2001) as the sparse-network case study of
+// Section 4 / Theorem 14 of the paper: an identifier ring with finger
+// tables, greedy clockwise routing with O(log n) hops, and a routing-based
+// uniform random node sampler standing in for King et al.'s "choosing a
+// random peer in Chord" (see DESIGN.md §4, substitution 3).
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"drrgossip/internal/graph"
+	"drrgossip/internal/xrand"
+)
+
+// Placement selects how node identifiers are laid out on the ring.
+type Placement int
+
+const (
+	// Even spaces identifiers uniformly: successor(random id) is exactly
+	// a uniform node, so sampling needs no rejection.
+	Even Placement = iota
+	// Hashed draws identifiers pseudo-randomly (the realistic DHT case);
+	// the sampler then removes arc-length bias by rejection.
+	Hashed
+)
+
+// Options configure ring construction.
+type Options struct {
+	Bits      int       // identifier space size 2^Bits; 0 means 40
+	Placement Placement // Even (default) or Hashed
+	Seed      uint64    // identifier seed for Hashed placement
+}
+
+// Ring is an immutable Chord overlay on nodes 0..n-1. Node indices are
+// ranks on the identifier circle: node i's successor is node (i+1) mod n.
+type Ring struct {
+	n       int
+	bits    int
+	space   uint64   // 2^bits
+	ids     []uint64 // sorted identifiers; ids[i] belongs to node i
+	fingers [][]int  // fingers[i][k] = successor(ids[i] + 2^k), deduped
+	minArc  uint64   // smallest successor arc, for rejection sampling
+}
+
+// New builds a Chord ring on n nodes (n >= 2).
+func New(n int, opts Options) (*Ring, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("chord: need n >= 2, got %d", n)
+	}
+	bits := opts.Bits
+	if bits == 0 {
+		bits = 40
+	}
+	if bits < 1 || bits > 62 {
+		return nil, fmt.Errorf("chord: Bits must be in [1,62], got %d", bits)
+	}
+	space := uint64(1) << uint(bits)
+	if uint64(n) > space {
+		return nil, fmt.Errorf("chord: %d nodes exceed identifier space 2^%d", n, bits)
+	}
+	ids := make([]uint64, n)
+	switch opts.Placement {
+	case Even:
+		step := space / uint64(n)
+		for i := range ids {
+			ids[i] = uint64(i) * step
+		}
+	case Hashed:
+		rng := xrand.Derive(opts.Seed, 0xC40D, uint64(n))
+		used := make(map[uint64]bool, n)
+		for i := range ids {
+			for {
+				id := rng.Uint64n(space)
+				if !used[id] {
+					used[id] = true
+					ids[i] = id
+					break
+				}
+			}
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	default:
+		return nil, fmt.Errorf("chord: unknown placement %d", opts.Placement)
+	}
+
+	r := &Ring{n: n, bits: bits, space: space, ids: ids}
+	r.minArc = r.arc(0)
+	for i := 1; i < n; i++ {
+		if a := r.arc(i); a < r.minArc {
+			r.minArc = a
+		}
+	}
+
+	// Finger tables: finger k of node i points to successor(ids[i]+2^k).
+	r.fingers = make([][]int, n)
+	for i := 0; i < n; i++ {
+		seen := make(map[int]bool, bits)
+		fs := make([]int, 0, bits)
+		for k := 0; k < bits; k++ {
+			target := (ids[i] + (uint64(1) << uint(k))) & (space - 1)
+			f := r.SuccessorOf(target)
+			if f != i && !seen[f] {
+				seen[f] = true
+				fs = append(fs, f)
+			}
+		}
+		sort.Ints(fs)
+		r.fingers[i] = fs
+	}
+	return r, nil
+}
+
+// MustNew is New for known-good parameters.
+func MustNew(n int, opts Options) *Ring {
+	r, err := New(n, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// N returns the number of nodes.
+func (r *Ring) N() int { return r.n }
+
+// Bits returns the identifier width.
+func (r *Ring) Bits() int { return r.bits }
+
+// ID returns node i's identifier.
+func (r *Ring) ID(i int) uint64 { return r.ids[i] }
+
+// arc returns the identifier distance from node i's predecessor boundary:
+// the length of the arc (pred(i), ids[i]] that node i owns.
+func (r *Ring) arc(i int) uint64 {
+	prev := r.ids[(i+r.n-1)%r.n]
+	return (r.ids[i] - prev) & (r.space - 1)
+}
+
+// Arc returns the length of the identifier arc owned by node i. Exposed
+// for the sampler's bias analysis in tests.
+func (r *Ring) Arc(i int) uint64 { return r.arc(i) }
+
+// SuccessorOf returns the node owning identifier id: the first node whose
+// identifier is >= id in clockwise order (wrapping to node 0).
+func (r *Ring) SuccessorOf(id uint64) int {
+	id &= r.space - 1
+	i := sort.Search(r.n, func(k int) bool { return r.ids[k] >= id })
+	if i == r.n {
+		return 0
+	}
+	return i
+}
+
+// Fingers returns node i's deduplicated finger set (sorted node indices;
+// always includes the successor since 2^0 is a finger target). The caller
+// must not modify it.
+func (r *Ring) Fingers(i int) []int { return r.fingers[i] }
+
+// dist returns the clockwise identifier distance from a to b.
+func (r *Ring) dist(a, b uint64) uint64 { return (b - a) & (r.space - 1) }
+
+// Route returns the greedy finger-routing hop path from node `from` to the
+// node owning identifier id, excluding `from` itself. An empty path means
+// `from` already owns id. Hop count is O(log n) for both placements.
+func (r *Ring) Route(from int, id uint64) []int {
+	id &= r.space - 1
+	owner := r.SuccessorOf(id)
+	if owner == from {
+		return nil
+	}
+	var path []int
+	cur := from
+	for cur != owner {
+		next := r.closestPreceding(cur, id)
+		if next == cur {
+			// No finger strictly precedes id: the successor owns it.
+			next = (cur + 1) % r.n
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > 4*r.bits {
+			panic("chord: routing did not converge")
+		}
+	}
+	return path
+}
+
+// closestPreceding returns the finger of cur whose identifier is closest
+// to id while remaining strictly within the clockwise interval
+// (ids[cur], id); cur itself if none.
+func (r *Ring) closestPreceding(cur int, id uint64) int {
+	best := cur
+	bestDist := r.dist(r.ids[cur], id)
+	if bestDist == 0 {
+		return cur
+	}
+	for _, f := range r.fingers[cur] {
+		d := r.dist(r.ids[f], id)
+		// Strictly inside (cur, id): closer to id than cur is, nonzero.
+		if d < bestDist && d > 0 {
+			best = f
+			bestDist = d
+		}
+	}
+	return best
+}
+
+// RouteToNode returns the hop path from node `from` to node `to`.
+func (r *Ring) RouteToNode(from, to int) []int {
+	if from == to {
+		return nil
+	}
+	return r.Route(from, r.ids[to])
+}
+
+// Sample draws a near-uniform random node by routing: pick a uniform
+// identifier, route to its owner, and accept with probability
+// min(1, avgArc/arc(owner)), which cancels the arc-length bias up to a
+// constant factor (P(node) ∝ min(arc, avgArc)). With Even placement every
+// arc equals avgArc, so sampling is exactly uniform in one try. This
+// stands in for King et al.'s exactly-uniform protocol while preserving
+// the T = O(log n) rounds, M = O(log n) messages contract that Theorem 14
+// needs (DESIGN.md §4, substitution 3). Expected tries is O(1); a budget
+// of 64 tries bounds the worst case, after which the last candidate is
+// accepted.
+//
+// It returns the accepted node, the hop path of the accepted route, and
+// the total hops spent including rejected attempts (the message cost of
+// the sample).
+func (r *Ring) Sample(rng *xrand.Stream, from int) (node int, path []int, totalHops int) {
+	avgArc := float64(r.space) / float64(r.n)
+	for try := 0; ; try++ {
+		id := rng.Uint64n(r.space)
+		p := r.Route(from, id)
+		totalHops += len(p)
+		owner := r.SuccessorOf(id)
+		a := float64(r.arc(owner))
+		if a <= avgArc || try >= 63 || rng.Float64() < avgArc/a {
+			return owner, p, totalHops
+		}
+	}
+}
+
+// Graph returns the undirected communication graph induced by the finger
+// tables (including successor links): an edge {i, f} for every finger f of
+// i. This is the topology Local-DRR runs on (Section 4); its degree is
+// O(log n).
+func (r *Ring) Graph() *graph.Graph {
+	adj := make([]map[int]bool, r.n)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	for i := 0; i < r.n; i++ {
+		for _, f := range r.fingers[i] {
+			adj[i][f] = true
+			adj[f][i] = true
+		}
+		// Successor link always present even if finger dedup removed it.
+		s := (i + 1) % r.n
+		if s != i {
+			adj[i][s] = true
+			adj[s][i] = true
+		}
+	}
+	lists := make([][]int, r.n)
+	for i, set := range adj {
+		lst := make([]int, 0, len(set))
+		for v := range set {
+			lst = append(lst, v)
+		}
+		sort.Ints(lst)
+		lists[i] = lst
+	}
+	g, err := graph.FromAdjacency(fmt.Sprintf("chord(%d)", r.n), lists)
+	if err != nil {
+		panic(err) // construction is symmetric by design
+	}
+	return g
+}

@@ -1,0 +1,326 @@
+// Package convergecast implements Phase II of DRR-gossip (Algorithms 2
+// and 3): upward aggregation of each ranking tree's local aggregate at its
+// root, and the downward broadcast that follows (root addresses after
+// Phase I, final aggregates after Phase III).
+//
+// Loss handling follows the paper's remark that lossy links are tolerated
+// by repeated calls: a child re-sends its contribution every round until
+// the parent acknowledges it; the parent merges idempotently, so a
+// retransmission after a lost ack cannot double-count. With δ < 1/8 every
+// edge succeeds within a few attempts whp, preserving the O(n) message and
+// O(max tree size) time bounds of the phase.
+package convergecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"drrgossip/internal/forest"
+	"drrgossip/internal/sim"
+)
+
+// Options tune Phase II.
+type Options struct {
+	// ExtraRounds pads the round cap beyond the lossless minimum to absorb
+	// retransmissions. 0 means 60 (overall failure odds ~ n·(2δ)^60).
+	ExtraRounds int
+}
+
+func (o Options) extra() int {
+	if o.ExtraRounds == 0 {
+		return 60
+	}
+	return o.ExtraRounds
+}
+
+// SumCount is the (value-sum, size-count) vector of Algorithm 3.
+type SumCount struct {
+	Sum   float64
+	Count float64
+}
+
+// ErrIncomplete reports that some tree failed to finish within the round
+// cap (practically impossible for δ < 1/8 with the default padding).
+var ErrIncomplete = errors.New("convergecast: phase did not complete within its round budget")
+
+const (
+	kindUp   uint8 = 0x21
+	kindDown uint8 = 0x22
+)
+
+// mergeFunc folds a child's contribution into the accumulator payload
+// (fields A, B, C carry the aggregate vector; Kind and X are managed by
+// the transport).
+type mergeFunc func(acc, in sim.Payload) sim.Payload
+
+// up runs the generic upward aggregation and returns per-root payload
+// accumulators.
+func up(eng *sim.Engine, f *forest.Forest, init []sim.Payload, merge mergeFunc, opts Options) (map[int]sim.Payload, sim.Counters, error) {
+	n := eng.N()
+	if f.N() != n {
+		return nil, sim.Counters{}, fmt.Errorf("convergecast: forest has %d nodes, engine %d", f.N(), n)
+	}
+	start := eng.Stats()
+	acc := append([]sim.Payload(nil), init...)
+	pending := make([]int, n) // children not yet merged
+	merged := make([]bool, n) // child -> contribution registered at parent
+	acked := make([]bool, n)  // child -> knows it was registered
+	remaining := 0            // members still to be acked (non-roots)
+	for i := 0; i < n; i++ {
+		if !f.Member(i) {
+			continue
+		}
+		pending[i] = len(f.Children(i))
+		if !f.IsRoot(i) {
+			remaining++
+		}
+	}
+	calls := make([]sim.Call, n)
+	roundCap := f.MaxHeight() + opts.extra()
+	for round := 0; remaining > 0 && round < roundCap; round++ {
+		eng.Tick()
+		for i := 0; i < n; i++ {
+			calls[i] = sim.Call{}
+			if !f.Member(i) || f.IsRoot(i) || acked[i] || pending[i] > 0 {
+				continue
+			}
+			pay := acc[i]
+			pay.Kind = kindUp
+			pay.X = int64(i)
+			calls[i] = sim.Call{Active: true, To: f.Parent(i), Pay: pay}
+		}
+		eng.ResolveCalls(calls,
+			func(callee, caller int, req sim.Payload) (sim.Payload, bool) {
+				if !merged[caller] {
+					merged[caller] = true
+					acc[callee] = merge(acc[callee], req)
+					pending[callee]--
+				}
+				return sim.Payload{Kind: kindUp}, true
+			},
+			func(caller int, resp sim.Payload) {
+				if !acked[caller] {
+					acked[caller] = true
+					remaining--
+				}
+			})
+	}
+	stats := eng.Stats().Sub(start)
+	if remaining > 0 {
+		return nil, stats, ErrIncomplete
+	}
+	out := make(map[int]sim.Payload, f.NumTrees())
+	for _, r := range f.Roots() {
+		out[r] = acc[r]
+	}
+	return out, stats, nil
+}
+
+// valueInit builds per-node payload accumulators with A = value.
+func valueInit(f *forest.Forest, values []float64, withCount, withSquare bool) []sim.Payload {
+	init := make([]sim.Payload, len(values))
+	for i, v := range values {
+		init[i].A = v
+		if withSquare {
+			init[i].B = v * v
+		}
+		if withCount && f.Member(i) {
+			init[i].C = 1
+		}
+	}
+	return init
+}
+
+// Max runs Convergecast-max (Algorithm 2): each root learns the maximum
+// value in its tree.
+func Max(eng *sim.Engine, f *forest.Forest, values []float64, opts Options) (map[int]float64, sim.Counters, error) {
+	res, stats, err := up(eng, f, valueInit(f, values, false, false),
+		func(acc, in sim.Payload) sim.Payload {
+			acc.A = math.Max(acc.A, in.A)
+			return acc
+		}, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make(map[int]float64, len(res))
+	for r, p := range res {
+		out[r] = p.A
+	}
+	return out, stats, nil
+}
+
+// Min is the symmetric variant of Algorithm 2 for minima.
+func Min(eng *sim.Engine, f *forest.Forest, values []float64, opts Options) (map[int]float64, sim.Counters, error) {
+	res, stats, err := up(eng, f, valueInit(f, values, false, false),
+		func(acc, in sim.Payload) sim.Payload {
+			acc.A = math.Min(acc.A, in.A)
+			return acc
+		}, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make(map[int]float64, len(res))
+	for r, p := range res {
+		out[r] = p.A
+	}
+	return out, stats, nil
+}
+
+// addPayloads is the componentwise-sum merge shared by Sum and Moments.
+func addPayloads(acc, in sim.Payload) sim.Payload {
+	acc.A += in.A
+	acc.B += in.B
+	acc.C += in.C
+	return acc
+}
+
+// Sum runs Convergecast-sum (Algorithm 3): each root learns its tree's
+// (Σ values, tree size) vector.
+func Sum(eng *sim.Engine, f *forest.Forest, values []float64, opts Options) (map[int]SumCount, sim.Counters, error) {
+	res, stats, err := up(eng, f, valueInit(f, values, true, false), addPayloads, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make(map[int]SumCount, len(res))
+	for r, p := range res {
+		out[r] = SumCount{Sum: p.A, Count: p.C}
+	}
+	return out, stats, nil
+}
+
+// MomentsVec is the per-tree (Σv, Σv², size) vector used to compute mean
+// and variance in a single pass — the "suitable modification" extending
+// Algorithm 3 to second moments within the same bounded message size.
+type MomentsVec struct {
+	Sum   float64
+	Sum2  float64
+	Count float64
+}
+
+// Moments runs a three-component convergecast: each root learns its
+// tree's (Σ values, Σ values², tree size).
+func Moments(eng *sim.Engine, f *forest.Forest, values []float64, opts Options) (map[int]MomentsVec, sim.Counters, error) {
+	res, stats, err := up(eng, f, valueInit(f, values, true, true), addPayloads, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make(map[int]MomentsVec, len(res))
+	for r, p := range res {
+		out[r] = MomentsVec{Sum: p.A, Sum2: p.B, Count: p.C}
+	}
+	return out, stats, nil
+}
+
+// down pushes per-root payloads to every tree member. A node sends to one
+// child per round (the one-call-per-round constraint), retrying
+// unacknowledged children; delivered children start forwarding to their
+// own subtrees the next round.
+func down(eng *sim.Engine, f *forest.Forest, perRoot map[int]sim.Payload, opts Options) ([]sim.Payload, sim.Counters, error) {
+	n := eng.N()
+	if f.N() != n {
+		return nil, sim.Counters{}, fmt.Errorf("convergecast: forest has %d nodes, engine %d", f.N(), n)
+	}
+	start := eng.Stats()
+	have := make([]bool, n)
+	pay := make([]sim.Payload, n)
+	nextChild := make([]int, n) // index into Children(i) of next un-acked child
+	remaining := 0
+	for i := 0; i < n; i++ {
+		if !f.Member(i) {
+			continue
+		}
+		remaining++
+		if f.IsRoot(i) {
+			p, ok := perRoot[i]
+			if !ok {
+				return nil, sim.Counters{}, fmt.Errorf("convergecast: missing payload for root %d", i)
+			}
+			have[i] = true
+			pay[i] = p
+			remaining--
+		}
+	}
+	calls := make([]sim.Call, n)
+	roundCap := f.MaxTreeSize() + f.MaxHeight() + opts.extra()
+	for round := 0; remaining > 0 && round < roundCap; round++ {
+		eng.Tick()
+		for i := 0; i < n; i++ {
+			calls[i] = sim.Call{}
+			if !have[i] {
+				continue
+			}
+			kids := f.Children(i)
+			if nextChild[i] >= len(kids) {
+				continue
+			}
+			child := kids[nextChild[i]]
+			p := pay[i]
+			p.Kind = kindDown
+			calls[i] = sim.Call{Active: true, To: child, Pay: p}
+		}
+		eng.ResolveCalls(calls,
+			func(callee, caller int, req sim.Payload) (sim.Payload, bool) {
+				if !have[callee] {
+					have[callee] = true
+					pay[callee] = req
+					remaining--
+				}
+				return sim.Payload{Kind: kindDown}, true
+			},
+			func(caller int, resp sim.Payload) {
+				nextChild[caller]++
+			})
+	}
+	stats := eng.Stats().Sub(start)
+	if remaining > 0 {
+		return nil, stats, ErrIncomplete
+	}
+	return pay, stats, nil
+}
+
+// BroadcastValue distributes one float per root to all members of its
+// tree; the per-node result is NaN for non-members.
+func BroadcastValue(eng *sim.Engine, f *forest.Forest, perRoot map[int]float64, opts Options) ([]float64, sim.Counters, error) {
+	pays := make(map[int]sim.Payload, len(perRoot))
+	for r, v := range perRoot {
+		pays[r] = sim.Payload{A: v}
+	}
+	res, stats, err := down(eng, f, pays, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]float64, eng.N())
+	for i := range out {
+		if f.Member(i) {
+			out[i] = res[i].A
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out, stats, nil
+}
+
+// BroadcastRootAddr performs the Phase II address broadcast: every root
+// announces its address down its tree, so all nodes learn their root (the
+// non-address-oblivious forwarding table used by Phase III). Non-members
+// get -1.
+func BroadcastRootAddr(eng *sim.Engine, f *forest.Forest, opts Options) ([]int, sim.Counters, error) {
+	pays := make(map[int]sim.Payload, f.NumTrees())
+	for _, r := range f.Roots() {
+		pays[r] = sim.Payload{X: int64(r)}
+	}
+	res, stats, err := down(eng, f, pays, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]int, eng.N())
+	for i := range out {
+		if f.Member(i) {
+			out[i] = int(res[i].X)
+		} else {
+			out[i] = -1
+		}
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,316 @@
+package convergecast
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drrgossip/internal/agg"
+	"drrgossip/internal/drr"
+	"drrgossip/internal/forest"
+	"drrgossip/internal/sim"
+)
+
+// buildForest runs DRR to obtain a realistic ranking forest.
+func buildForest(t *testing.T, eng *sim.Engine) *forest.Forest {
+	t.Helper()
+	res, err := drr.Run(eng, drr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Forest
+}
+
+// treeValues collects the member values of the tree rooted at r.
+func treeValues(f *forest.Forest, values []float64, r int) []float64 {
+	var vs []float64
+	for i := 0; i < f.N(); i++ {
+		if f.Member(i) && f.RootOf(i) == r {
+			vs = append(vs, values[i])
+		}
+	}
+	return vs
+}
+
+func TestMaxExact(t *testing.T) {
+	eng := sim.NewEngine(1024, sim.Options{Seed: 1})
+	f := buildForest(t, eng)
+	values := agg.GenUniform(1024, -50, 50, 7)
+	got, stats, err := Max(eng, f, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Roots() {
+		want := agg.Exact(agg.Max, treeValues(f, values, r), 0)
+		if got[r] != want {
+			t.Fatalf("root %d: max = %v, want %v", r, got[r], want)
+		}
+	}
+	// O(n) messages: every non-root sends once + ack.
+	nonRoots := int64(f.NumMembers() - f.NumTrees())
+	if stats.Messages != 2*nonRoots {
+		t.Fatalf("messages = %d, want %d", stats.Messages, 2*nonRoots)
+	}
+}
+
+func TestMinExact(t *testing.T) {
+	eng := sim.NewEngine(512, sim.Options{Seed: 2})
+	f := buildForest(t, eng)
+	values := agg.GenSigned(512, 30, 8)
+	got, _, err := Min(eng, f, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Roots() {
+		want := agg.Exact(agg.Min, treeValues(f, values, r), 0)
+		if got[r] != want {
+			t.Fatalf("root %d: min = %v, want %v", r, got[r], want)
+		}
+	}
+}
+
+func TestSumExact(t *testing.T) {
+	eng := sim.NewEngine(1024, sim.Options{Seed: 3})
+	f := buildForest(t, eng)
+	values := agg.GenUniform(1024, 0, 10, 9)
+	got, _, err := Sum(eng, f, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalCount := 0.0
+	for _, r := range f.Roots() {
+		tv := treeValues(f, values, r)
+		wantSum := agg.Exact(agg.Sum, tv, 0)
+		if math.Abs(got[r].Sum-wantSum) > 1e-9 {
+			t.Fatalf("root %d: sum = %v, want %v", r, got[r].Sum, wantSum)
+		}
+		if got[r].Count != float64(len(tv)) {
+			t.Fatalf("root %d: count = %v, want %d", r, got[r].Count, len(tv))
+		}
+		totalCount += got[r].Count
+	}
+	if totalCount != float64(f.NumMembers()) {
+		t.Fatalf("tree sizes sum to %v, want %d", totalCount, f.NumMembers())
+	}
+}
+
+func TestSumExactUnderLoss(t *testing.T) {
+	// The ack/retransmit scheme must make tree aggregates exact even at
+	// the paper's maximal δ = 1/8.
+	eng := sim.NewEngine(2048, sim.Options{Seed: 4, Loss: 0.125})
+	f := buildForest(t, eng)
+	values := agg.GenUniform(2048, 0, 100, 10)
+	got, stats, err := Sum(eng, f, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Roots() {
+		tv := treeValues(f, values, r)
+		if math.Abs(got[r].Sum-agg.Exact(agg.Sum, tv, 0)) > 1e-9 {
+			t.Fatalf("root %d sum wrong under loss", r)
+		}
+	}
+	if stats.Drops == 0 {
+		t.Fatal("expected some drops at δ = 1/8")
+	}
+}
+
+func TestRoundsBoundedByHeight(t *testing.T) {
+	eng := sim.NewEngine(4096, sim.Options{Seed: 5})
+	f := buildForest(t, eng)
+	values := agg.GenUniform(4096, 0, 1, 11)
+	_, stats, err := Max(eng, f, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > f.MaxHeight()+1 {
+		t.Fatalf("lossless convergecast took %d rounds, height %d", stats.Rounds, f.MaxHeight())
+	}
+}
+
+func TestBroadcastValue(t *testing.T) {
+	eng := sim.NewEngine(1024, sim.Options{Seed: 6})
+	f := buildForest(t, eng)
+	perRoot := make(map[int]float64)
+	for _, r := range f.Roots() {
+		perRoot[r] = float64(r) * 1.5
+	}
+	got, stats, err := BroadcastValue(eng, f, perRoot, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < f.N(); i++ {
+		want := float64(f.RootOf(i)) * 1.5
+		if got[i] != want {
+			t.Fatalf("node %d got %v, want %v", i, got[i], want)
+		}
+	}
+	// O(n) messages: each non-root receives one delivery + one ack.
+	nonRoots := int64(f.NumMembers() - f.NumTrees())
+	if stats.Messages != 2*nonRoots {
+		t.Fatalf("messages = %d, want %d", stats.Messages, 2*nonRoots)
+	}
+}
+
+func TestBroadcastRootAddr(t *testing.T) {
+	eng := sim.NewEngine(2048, sim.Options{Seed: 7, Loss: 0.1})
+	f := buildForest(t, eng)
+	got, _, err := BroadcastRootAddr(eng, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < f.N(); i++ {
+		if !f.Member(i) {
+			if got[i] != -1 {
+				t.Fatalf("non-member %d got root %d", i, got[i])
+			}
+			continue
+		}
+		if got[i] != f.RootOf(i) {
+			t.Fatalf("node %d learned root %d, want %d", i, got[i], f.RootOf(i))
+		}
+	}
+}
+
+func TestBroadcastMissingRootPayload(t *testing.T) {
+	eng := sim.NewEngine(64, sim.Options{Seed: 8})
+	f := buildForest(t, eng)
+	_, _, err := BroadcastValue(eng, f, map[int]float64{}, Options{})
+	if err == nil {
+		t.Fatal("missing root payload accepted")
+	}
+}
+
+func TestWithCrashes(t *testing.T) {
+	eng := sim.NewEngine(1024, sim.Options{Seed: 9, CrashFrac: 0.25, Loss: 0.05})
+	f := buildForest(t, eng)
+	values := agg.GenUniform(1024, 0, 10, 12)
+	got, _, err := Sum(eng, f, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, sc := range got {
+		total += sc.Count
+	}
+	if total != float64(eng.NumAlive()) {
+		t.Fatalf("counted %v nodes, alive %d", total, eng.NumAlive())
+	}
+}
+
+func TestSizeMismatch(t *testing.T) {
+	eng := sim.NewEngine(10, sim.Options{Seed: 1})
+	f, err := forest.FromParents([]int{forest.Root, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Max(eng, f, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestHandBuiltChain(t *testing.T) {
+	// Chain 3 -> 2 -> 1 -> 0(root): strictly sequential aggregation.
+	f, err := forest.FromParents([]int{forest.Root, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(4, sim.Options{Seed: 10})
+	got, stats, err := Sum(eng, f, []float64{1, 2, 3, 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Sum != 10 || got[0].Count != 4 {
+		t.Fatalf("chain sum = %+v", got[0])
+	}
+	// Depth-3 chain completes in exactly 3 lossless rounds.
+	if stats.Rounds != 3 {
+		t.Fatalf("chain rounds = %d, want 3", stats.Rounds)
+	}
+}
+
+// Property: for random forests and values, convergecast sums match exact
+// per-tree aggregation, and broadcast reaches every member.
+func TestConvergecastProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		n := 128
+		eng := sim.NewEngine(n, sim.Options{Seed: uint64(seed), Loss: 0.05})
+		fo := func() *forest.Forest {
+			res, err := drr.Run(eng, drr.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Forest
+		}()
+		values := agg.GenSigned(n, 20, uint64(seed)+1)
+		sums, _, err := Sum(eng, fo, values, Options{})
+		if err != nil {
+			return false
+		}
+		grand := 0.0
+		for _, sc := range sums {
+			grand += sc.Sum
+		}
+		want := agg.Exact(agg.Sum, values, 0)
+		return math.Abs(grand-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConvergecastSum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(4096, sim.Options{Seed: uint64(i)})
+		res, err := drr.Run(eng, drr.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		values := agg.GenUniform(4096, 0, 1, uint64(i))
+		if _, _, err := Sum(eng, res.Forest, values, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMomentsExact(t *testing.T) {
+	eng := sim.NewEngine(1024, sim.Options{Seed: 31})
+	f := buildForest(t, eng)
+	values := agg.GenSigned(1024, 10, 32)
+	got, _, err := Moments(eng, f, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Roots() {
+		tv := treeValues(f, values, r)
+		wantSum := agg.Exact(agg.Sum, tv, 0)
+		wantSum2 := 0.0
+		for _, v := range tv {
+			wantSum2 += v * v
+		}
+		mv := got[r]
+		if math.Abs(mv.Sum-wantSum) > 1e-9 || math.Abs(mv.Sum2-wantSum2) > 1e-9 {
+			t.Fatalf("root %d moments = %+v, want sum %v sum2 %v", r, mv, wantSum, wantSum2)
+		}
+		if mv.Count != float64(len(tv)) {
+			t.Fatalf("root %d count = %v, want %d", r, mv.Count, len(tv))
+		}
+	}
+}
+
+func TestMomentsUnderLoss(t *testing.T) {
+	eng := sim.NewEngine(512, sim.Options{Seed: 33, Loss: 0.125})
+	f := buildForest(t, eng)
+	values := agg.GenUniform(512, 0, 10, 34)
+	got, _, err := Moments(eng, f, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, mv := range got {
+		total += mv.Count
+	}
+	if total != float64(f.NumMembers()) {
+		t.Fatalf("counts sum to %v, want %d", total, f.NumMembers())
+	}
+}

@@ -1,0 +1,124 @@
+// DRR-gossip-moments: mean and variance in one protocol run — the
+// paper's "other aggregates … by a suitable modification" instantiated
+// for second moments. The pipeline is Algorithm 8 with the pair
+// (s, g) widened to the triple (Σv, Σv², g); message sizes stay bounded.
+package drrgossip
+
+import (
+	"fmt"
+	"math"
+
+	"drrgossip/internal/convergecast"
+	"drrgossip/internal/drr"
+	"drrgossip/internal/gossip"
+	"drrgossip/internal/sim"
+)
+
+// MomentsResult reports a DRR-gossip-moments run.
+type MomentsResult struct {
+	// Mean and Variance are the consensus estimates (population
+	// variance, i.e. E[v²] − E[v]²).
+	Mean, Variance float64
+	// Std is sqrt(max(Variance, 0)).
+	Std float64
+	// PerNodeMean / PerNodeVariance are the disseminated per-node values
+	// (NaN for crashed nodes).
+	PerNodeMean, PerNodeVariance []float64
+	Consensus                    bool
+	Stats                        sim.Counters
+}
+
+// Moments computes the global mean and variance with a single DRR-gossip
+// pipeline: DRR forest, three-component convergecast, largest-root
+// election, triple push-sum, then two data-spreads (mean, variance) and
+// the final tree broadcast.
+func Moments(eng *sim.Engine, values []float64, opts Options) (*MomentsResult, error) {
+	if len(values) != eng.N() {
+		return nil, errValues(len(values), eng.N())
+	}
+	runStart := eng.Stats()
+
+	dres, err := drr.Run(eng, opts.DRR)
+	if err != nil {
+		return nil, err
+	}
+	f := dres.Forest
+	if f.NumTrees() == 0 {
+		return nil, ErrNoNodes
+	}
+	cov, _, err := convergecast.Moments(eng, f, values, opts.Convergecast)
+	if err != nil {
+		return nil, err
+	}
+	rootTo, _, err := convergecast.BroadcastRootAddr(eng, f, opts.Convergecast)
+	if err != nil {
+		return nil, err
+	}
+
+	// Elect the largest-tree root via Gossip-max on (size, id) keys.
+	keys := make(map[int]float64, f.NumTrees())
+	for r, mv := range cov {
+		keys[r] = largestKey(int(mv.Count), r)
+	}
+	kres, err := gossip.Max(eng, f, rootTo, keys, opts.Gossip)
+	if err != nil {
+		return nil, err
+	}
+	maxKey := math.Inf(-1)
+	for _, v := range kres.Estimates {
+		if v > maxKey {
+			maxKey = v
+		}
+	}
+	z := decodeKeyRoot(maxKey)
+
+	mres, err := gossip.Moments(eng, f, rootTo, cov,
+		gossip.AveOptions{Rounds: opts.AveRounds, TrackRoot: -1})
+	if err != nil {
+		return nil, err
+	}
+	mean := mres.Mean[z]
+	variance := mres.M2[z] - mean*mean
+
+	// Spread both values from z and broadcast them down the trees.
+	sMean, err := gossip.Spread(eng, f, rootTo, z, mean, opts.Gossip)
+	if err != nil {
+		return nil, err
+	}
+	sVar, err := gossip.Spread(eng, f, rootTo, z, variance, opts.Gossip)
+	if err != nil {
+		return nil, err
+	}
+	perMean, _, err := convergecast.BroadcastValue(eng, f, sMean.Estimates, opts.Convergecast)
+	if err != nil {
+		return nil, err
+	}
+	perVar, _, err := convergecast.BroadcastValue(eng, f, sVar.Estimates, opts.Convergecast)
+	if err != nil {
+		return nil, err
+	}
+
+	consensus := true
+	for i := range perMean {
+		if !f.Member(i) {
+			continue
+		}
+		if perMean[i] != mean || perVar[i] != variance {
+			consensus = false
+			break
+		}
+	}
+	return &MomentsResult{
+		Mean:            mean,
+		Variance:        variance,
+		Std:             math.Sqrt(math.Max(variance, 0)),
+		PerNodeMean:     perMean,
+		PerNodeVariance: perVar,
+		Consensus:       consensus,
+		Stats:           eng.Stats().Sub(runStart),
+	}, nil
+}
+
+func errValues(got, want int) error {
+	return fmt.Errorf("drrgossip: %d values for %d nodes", got, want)
+}

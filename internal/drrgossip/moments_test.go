@@ -1,0 +1,144 @@
+package drrgossip
+
+import (
+	"math"
+	"testing"
+
+	"drrgossip/internal/agg"
+	"drrgossip/internal/sim"
+)
+
+// exactMoments computes the reference population mean and variance.
+func exactMoments(values []float64) (mean, variance float64) {
+	mean = agg.Exact(agg.Average, values, 0)
+	s2 := 0.0
+	for _, v := range values {
+		s2 += v * v
+	}
+	return mean, s2/float64(len(values)) - mean*mean
+}
+
+func TestMomentsEndToEnd(t *testing.T) {
+	n := 2048
+	eng := sim.NewEngine(n, sim.Options{Seed: 141})
+	values := agg.GenUniform(n, 0, 100, 1)
+	res, err := Moments(eng, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean, wantVar := exactMoments(values)
+	if agg.RelError(res.Mean, wantMean) > 1e-6 {
+		t.Fatalf("Mean = %v, want %v", res.Mean, wantMean)
+	}
+	if agg.RelError(res.Variance, wantVar) > 1e-6 {
+		t.Fatalf("Variance = %v, want %v", res.Variance, wantVar)
+	}
+	if math.Abs(res.Std-math.Sqrt(wantVar)) > 1e-3 {
+		t.Fatalf("Std = %v", res.Std)
+	}
+	if !res.Consensus {
+		t.Fatal("no consensus")
+	}
+}
+
+func TestMomentsConstantValues(t *testing.T) {
+	n := 512
+	eng := sim.NewEngine(n, sim.Options{Seed: 142})
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = 7.5
+	}
+	res, err := Moments(eng, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.RelError(res.Mean, 7.5) > 1e-9 {
+		t.Fatalf("Mean = %v", res.Mean)
+	}
+	// Variance of constants is 0; allow tiny float cancellation noise.
+	if math.Abs(res.Variance) > 1e-6 {
+		t.Fatalf("Variance = %v, want 0", res.Variance)
+	}
+}
+
+func TestMomentsUnderLossAndCrashes(t *testing.T) {
+	n := 2048
+	eng := sim.NewEngine(n, sim.Options{Seed: 143, Loss: 0.05, CrashFrac: 0.1})
+	values := agg.GenUniform(n, 0, 50, 2)
+	res, err := Moments(eng, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := agg.Subset(values, eng.AliveIDs())
+	wantMean, wantVar := exactMoments(alive)
+	if agg.RelError(res.Mean, wantMean) > 0.05 {
+		t.Fatalf("Mean = %v, want %v", res.Mean, wantMean)
+	}
+	if agg.RelError(res.Variance, wantVar) > 0.1 {
+		t.Fatalf("Variance = %v, want %v", res.Variance, wantVar)
+	}
+	if !res.Consensus {
+		t.Fatal("no consensus")
+	}
+	for i, v := range res.PerNodeMean {
+		if !res.Consensus {
+			break
+		}
+		if eng.Alive(i) && v != res.Mean {
+			t.Fatalf("node %d mean %v != consensus %v", i, v, res.Mean)
+		}
+	}
+}
+
+func TestMomentsSignedValues(t *testing.T) {
+	n := 1024
+	eng := sim.NewEngine(n, sim.Options{Seed: 144})
+	values := agg.GenSigned(n, 20, 3)
+	res, err := Moments(eng, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean, wantVar := exactMoments(values)
+	if math.Abs(res.Mean-wantMean) > 1e-6 {
+		t.Fatalf("Mean = %v, want %v", res.Mean, wantMean)
+	}
+	if agg.RelError(res.Variance, wantVar) > 1e-6 {
+		t.Fatalf("Variance = %v, want %v", res.Variance, wantVar)
+	}
+}
+
+func TestMomentsValidation(t *testing.T) {
+	eng := sim.NewEngine(16, sim.Options{Seed: 145})
+	if _, err := Moments(eng, make([]float64, 4), Options{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestMomentsCostProfile(t *testing.T) {
+	// Moments must not cost asymptotically more than Ave: same phases
+	// plus one extra spread.
+	n := 4096
+	values := agg.GenUniform(n, 0, 1, 4)
+	mres, err := Moments(sim.NewEngine(n, sim.Options{Seed: 146}), values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := Ave(sim.NewEngine(n, sim.Options{Seed: 146}), values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Stats.Messages > 2*ares.Stats.Messages {
+		t.Fatalf("Moments cost %d messages vs Ave %d", mres.Stats.Messages, ares.Stats.Messages)
+	}
+}
+
+func BenchmarkMoments(b *testing.B) {
+	n := 4096
+	values := agg.GenUniform(n, 0, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Moments(sim.NewEngine(n, sim.Options{Seed: uint64(i)}), values, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Sparse-network DRR-gossip (Section 4 / Theorem 14): Local-DRR builds the
+// forest over the overlay's links, convergecast and broadcast run on tree
+// edges (which are graph edges), and Phase III gossips between roots via
+// the overlay's routing protocol — on Chord, T = O(log n) rounds and
+// M = O(log n) messages per random-node sample, giving O(log^2 n) time and
+// O(n log n) messages overall, against O(log^2 n) time and O(n log^2 n)
+// messages for uniform gossip (see internal/kempe).
+package drrgossip
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"drrgossip/internal/chord"
+	"drrgossip/internal/convergecast"
+	"drrgossip/internal/forest"
+	"drrgossip/internal/localdrr"
+	"drrgossip/internal/sim"
+)
+
+// SparseOptions tune the Chord pipelines; zero values pick defaults.
+type SparseOptions struct {
+	LocalDRR     localdrr.Options
+	Convergecast convergecast.Options
+	GossipIters  int // gossip-procedure iterations (0 = 2 log n + 12)
+	SampleIters  int // sampling-procedure iterations (0 = log n + 8)
+	AveIters     int // push-sum iterations (0 = 4 log n + 24)
+}
+
+// ErrCrashedChord is returned when the engine has crashed nodes: Chord
+// routing repair (successor-list maintenance under churn) is outside this
+// reproduction's scope, matching the paper, which analyses sparse
+// topologies without the crash model.
+var ErrCrashedChord = errors.New("drrgossip: chord pipelines require all nodes alive")
+
+const (
+	kindSparseVal   uint8 = 0x41
+	kindSparseInq   uint8 = 0x42
+	kindSparseReply uint8 = 0x43
+	kindSparseShare uint8 = 0x44
+)
+
+// climbPath returns the tree path from node j up to its root (excluding
+// j itself); empty when j is a root.
+func climbPath(f *forest.Forest, j int) []int {
+	var path []int
+	for cur := j; !f.IsRoot(cur); {
+		cur = f.Parent(cur)
+		path = append(path, cur)
+	}
+	return path
+}
+
+// shipToRandomRoot routes a payload from root r to the root of a
+// near-uniform random node: Chord-route to the sampled node, then climb
+// its ranking tree. Returns false when the sample landed on r itself.
+func shipToRandomRoot(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, r int, pay sim.Payload) bool {
+	j, path, totalHops := ring.Sample(eng.RNG(r), r)
+	if extra := totalHops - len(path); extra > 0 {
+		eng.Charge(int64(extra)) // rejected routing attempts are traffic too
+	}
+	full := append(append([]int(nil), path...), climbPath(f, j)...)
+	if len(full) == 0 {
+		return false // sampled own root; nothing to transmit
+	}
+	eng.SendRouted(r, full, pay)
+	return true
+}
+
+// drainTicks advances the engine `ticks` rounds, invoking scan on every
+// root's inbox after each round (routed messages arrive at staggered
+// times).
+func drainTicks(eng *sim.Engine, roots []int, ticks int, scan func(r int, m sim.Message)) {
+	for k := 0; k < ticks; k++ {
+		eng.Tick()
+		for _, r := range roots {
+			for _, m := range eng.Inbox(r) {
+				scan(r, m)
+			}
+		}
+	}
+}
+
+// ticksPerIteration bounds the rounds a routed gossip exchange needs:
+// a Chord route (<= ~2 log n hops) plus a tree climb (<= max height).
+func ticksPerIteration(eng *sim.Engine, f *forest.Forest) int {
+	logn := int(math.Ceil(math.Log2(float64(eng.N()))))
+	return 2*logn + f.MaxHeight() + 2
+}
+
+func (o SparseOptions) gossipIters(n int) int {
+	if o.GossipIters != 0 {
+		return o.GossipIters
+	}
+	return 2*int(math.Ceil(math.Log2(float64(n)))) + 12
+}
+
+func (o SparseOptions) sampleIters(n int) int {
+	if o.SampleIters != 0 {
+		return o.SampleIters
+	}
+	return int(math.Ceil(math.Log2(float64(n)))) + 8
+}
+
+func (o SparseOptions) aveIters(n int) int {
+	if o.AveIters != 0 {
+		return o.AveIters
+	}
+	return 4*int(math.Ceil(math.Log2(float64(n)))) + 24
+}
+
+// sparsePhase12 runs Local-DRR and Phase II over the Chord overlay.
+func sparsePhase12(eng *sim.Engine, ring *chord.Ring, opts SparseOptions) (*forest.Forest, []int, *PhaseStats, error) {
+	if eng.NumAlive() != eng.N() {
+		return nil, nil, nil, ErrCrashedChord
+	}
+	if ring.N() != eng.N() {
+		return nil, nil, nil, fmt.Errorf("drrgossip: ring has %d nodes, engine %d", ring.N(), eng.N())
+	}
+	var ph PhaseStats
+	ldres, err := localdrr.Run(eng, ring.Graph(), opts.LocalDRR)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ph.DRR = ldres.Stats
+	rootTo, c, err := convergecast.BroadcastRootAddr(eng, ldres.Forest, opts.Convergecast)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ph.Aggregate = c
+	return ldres.Forest, rootTo, &ph, nil
+}
+
+// chordGossipMax runs the Gossip-max gossip+sampling procedures over
+// routed Chord transport and returns per-root estimates.
+func chordGossipMax(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, init map[int]float64, opts SparseOptions) (map[int]float64, error) {
+	roots := f.Roots()
+	val := make(map[int]float64, len(roots))
+	for _, r := range roots {
+		v, ok := init[r]
+		if !ok {
+			return nil, fmt.Errorf("drrgossip: missing init for root %d", r)
+		}
+		val[r] = v
+	}
+	ticks := ticksPerIteration(eng, f)
+	n := eng.N()
+
+	for t := 0; t < opts.gossipIters(n); t++ {
+		for _, r := range roots {
+			shipToRandomRoot(eng, ring, f, r, sim.Payload{Kind: kindSparseVal, A: val[r]})
+		}
+		drainTicks(eng, roots, ticks, func(r int, m sim.Message) {
+			if m.Pay.Kind == kindSparseVal && m.Pay.A > val[r] {
+				val[r] = m.Pay.A
+			}
+		})
+	}
+	for t := 0; t < opts.sampleIters(n); t++ {
+		var inquiries []sim.Message
+		for _, r := range roots {
+			shipToRandomRoot(eng, ring, f, r, sim.Payload{Kind: kindSparseInq, X: int64(r)})
+		}
+		drainTicks(eng, roots, ticks, func(r int, m sim.Message) {
+			if m.Pay.Kind == kindSparseInq {
+				inquiries = append(inquiries, sim.Message{From: int(m.Pay.X), To: r})
+			}
+		})
+		for _, inq := range inquiries {
+			responder, inquirer := inq.To, inq.From
+			path := ring.RouteToNode(responder, inquirer)
+			if len(path) == 0 {
+				continue
+			}
+			eng.SendRouted(responder, path, sim.Payload{Kind: kindSparseReply, A: val[responder]})
+		}
+		drainTicks(eng, roots, ticks, func(r int, m sim.Message) {
+			if m.Pay.Kind == kindSparseReply && m.Pay.A > val[r] {
+				val[r] = m.Pay.A
+			}
+		})
+	}
+	return val, nil
+}
+
+// chordGossipAve runs push-sum over roots with routed transport.
+func chordGossipAve(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, init map[int]convergecast.SumCount, opts SparseOptions) (map[int]float64, error) {
+	roots := f.Roots()
+	s := make(map[int]float64, len(roots))
+	g := make(map[int]float64, len(roots))
+	for _, r := range roots {
+		sc, ok := init[r]
+		if !ok {
+			return nil, fmt.Errorf("drrgossip: missing init for root %d", r)
+		}
+		s[r], g[r] = sc.Sum, sc.Count
+	}
+	ticks := ticksPerIteration(eng, f)
+	for t := 0; t < opts.aveIters(eng.N()); t++ {
+		for _, r := range roots {
+			halfS, halfG := s[r]/2, g[r]/2
+			pay := sim.Payload{Kind: kindSparseShare, A: halfS, B: halfG}
+			// Commit the halving only if the share actually leaves
+			// (sampling one's own root keeps the mass in place).
+			sBefore, gBefore := s[r], g[r]
+			s[r], g[r] = halfS, halfG
+			if !shipToRandomRoot(eng, ring, f, r, pay) {
+				s[r], g[r] = sBefore, gBefore
+			}
+		}
+		drainTicks(eng, roots, ticks, func(r int, m sim.Message) {
+			if m.Pay.Kind == kindSparseShare {
+				s[r] += m.Pay.A
+				g[r] += m.Pay.B
+			}
+		})
+	}
+	est := make(map[int]float64, len(roots))
+	for _, r := range roots {
+		if g[r] != 0 {
+			est[r] = s[r] / g[r]
+		} else {
+			est[r] = math.NaN()
+		}
+	}
+	return est, nil
+}
+
+// MaxOnChord runs DRR-gossip-max over a Chord overlay (Theorem 14).
+func MaxOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts SparseOptions) (*Result, error) {
+	if len(values) != eng.N() {
+		return nil, fmt.Errorf("drrgossip: %d values for %d nodes", len(values), eng.N())
+	}
+	f, _, ph, err := sparsePhase12(eng, ring, opts)
+	if err != nil {
+		return nil, err
+	}
+	covmax, c, err := convergecast.Max(eng, f, values, opts.Convergecast)
+	if err != nil {
+		return nil, err
+	}
+	ph.Aggregate = addCounters(ph.Aggregate, c)
+
+	before := eng.Stats()
+	est, err := chordGossipMax(eng, ring, f, covmax, opts)
+	if err != nil {
+		return nil, err
+	}
+	ph.Gossip = eng.Stats().Sub(before)
+
+	perNode, c3, err := convergecast.BroadcastValue(eng, f, est, opts.Convergecast)
+	if err != nil {
+		return nil, err
+	}
+	ph.Broadcast = c3
+	return finish(eng, f, perNode[f.LargestRoot()], perNode, *ph), nil
+}
+
+// AveOnChord runs DRR-gossip-ave over a Chord overlay: Gossip-max on tree
+// sizes elects the largest root, push-sum converges there, Data-spread
+// distributes the answer, and the trees broadcast it to every node.
+func AveOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts SparseOptions) (*Result, error) {
+	if len(values) != eng.N() {
+		return nil, fmt.Errorf("drrgossip: %d values for %d nodes", len(values), eng.N())
+	}
+	f, _, ph, err := sparsePhase12(eng, ring, opts)
+	if err != nil {
+		return nil, err
+	}
+	covsum, c, err := convergecast.Sum(eng, f, values, opts.Convergecast)
+	if err != nil {
+		return nil, err
+	}
+	ph.Aggregate = addCounters(ph.Aggregate, c)
+
+	before := eng.Stats()
+	keys := make(map[int]float64, f.NumTrees())
+	for r, sc := range covsum {
+		keys[r] = largestKey(int(sc.Count), r)
+	}
+	kest, err := chordGossipMax(eng, ring, f, keys, opts)
+	if err != nil {
+		return nil, err
+	}
+	maxKey := math.Inf(-1)
+	for _, v := range kest {
+		if v > maxKey {
+			maxKey = v
+		}
+	}
+	z := decodeKeyRoot(maxKey)
+	if !f.IsRoot(z) {
+		return nil, fmt.Errorf("drrgossip: elected node %d is not a root", z)
+	}
+
+	est, err := chordGossipAve(eng, ring, f, buildInit(pushAve, covsum, z), opts)
+	if err != nil {
+		return nil, err
+	}
+
+	spreadInit := make(map[int]float64, f.NumTrees())
+	for _, r := range f.Roots() {
+		spreadInit[r] = math.Inf(-1)
+	}
+	spreadInit[z] = est[z]
+	sest, err := chordGossipMax(eng, ring, f, spreadInit, opts)
+	if err != nil {
+		return nil, err
+	}
+	ph.Gossip = eng.Stats().Sub(before)
+
+	perNode, c3, err := convergecast.BroadcastValue(eng, f, sest, opts.Convergecast)
+	if err != nil {
+		return nil, err
+	}
+	ph.Broadcast = c3
+	return finish(eng, f, est[z], perNode, *ph), nil
+}

@@ -1,0 +1,163 @@
+package drrgossip
+
+import (
+	"math"
+	"testing"
+
+	"drrgossip/internal/agg"
+	"drrgossip/internal/chord"
+	"drrgossip/internal/sim"
+)
+
+func evenRing(t testing.TB, n int) *chord.Ring {
+	t.Helper()
+	r, err := chord.New(n, chord.Options{Bits: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMaxOnChordEndToEnd(t *testing.T) {
+	n := 1024
+	ring := evenRing(t, n)
+	eng := sim.NewEngine(n, sim.Options{Seed: 61})
+	values := agg.GenUniform(n, 0, 1000, 1)
+	res, err := MaxOnChord(eng, ring, values, SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.Exact(agg.Max, values, 0)
+	if res.Value != want || !res.Consensus {
+		t.Fatalf("Max = %v (consensus %v), want %v", res.Value, res.Consensus, want)
+	}
+}
+
+func TestMaxOnChordHashedPlacement(t *testing.T) {
+	n := 512
+	ring, err := chord.New(n, chord.Options{Bits: 30, Placement: chord.Hashed, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(n, sim.Options{Seed: 62})
+	values := agg.GenUniform(n, 0, 100, 2)
+	res, err := MaxOnChord(eng, ring, values, SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.Exact(agg.Max, values, 0)
+	if res.Value != want || !res.Consensus {
+		t.Fatalf("Max = %v (consensus %v), want %v", res.Value, res.Consensus, want)
+	}
+}
+
+func TestAveOnChordEndToEnd(t *testing.T) {
+	n := 1024
+	ring := evenRing(t, n)
+	eng := sim.NewEngine(n, sim.Options{Seed: 63})
+	values := agg.GenUniform(n, 0, 100, 3)
+	res, err := AveOnChord(eng, ring, values, SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.Exact(agg.Average, values, 0)
+	if e := agg.RelError(res.Value, want); e > 1e-5 {
+		t.Fatalf("Ave = %v, want %v (rel err %v)", res.Value, want, e)
+	}
+	if !res.Consensus {
+		t.Fatal("no consensus")
+	}
+}
+
+func TestChordComplexityTheorem14(t *testing.T) {
+	// Time O(log^2 n), messages O(n log n): both should hold with modest
+	// constants.
+	n := 1024
+	ring := evenRing(t, n)
+	eng := sim.NewEngine(n, sim.Options{Seed: 64})
+	values := agg.GenUniform(n, 0, 1, 4)
+	res, err := MaxOnChord(eng, ring, values, SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn := math.Log2(float64(n))
+	if got := float64(res.Stats.Rounds); got > 30*logn*logn {
+		t.Fatalf("rounds %v exceed 30 log^2 n = %v", got, 30*logn*logn)
+	}
+	if got := float64(res.Stats.Messages); got > 40*float64(n)*logn {
+		t.Fatalf("messages %v exceed 40 n log n = %v", got, 40*float64(n)*logn)
+	}
+}
+
+func TestChordUnderLoss(t *testing.T) {
+	n := 512
+	ring := evenRing(t, n)
+	eng := sim.NewEngine(n, sim.Options{Seed: 65, Loss: 0.05})
+	values := agg.GenUniform(n, 0, 1000, 5)
+	res, err := MaxOnChord(eng, ring, values, SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.Exact(agg.Max, values, 0)
+	if res.Value != want {
+		t.Fatalf("Max = %v, want %v under loss", res.Value, want)
+	}
+}
+
+func TestChordRejectsCrashes(t *testing.T) {
+	n := 256
+	ring := evenRing(t, n)
+	eng := sim.NewEngine(n, sim.Options{Seed: 66, CrashFrac: 0.2})
+	values := agg.GenUniform(n, 0, 1, 6)
+	if _, err := MaxOnChord(eng, ring, values, SparseOptions{}); err != ErrCrashedChord {
+		t.Fatalf("crashed chord accepted: %v", err)
+	}
+}
+
+func TestChordSizeMismatch(t *testing.T) {
+	ring := evenRing(t, 128)
+	eng := sim.NewEngine(64, sim.Options{Seed: 67})
+	if _, err := MaxOnChord(eng, ring, make([]float64, 64), SparseOptions{}); err == nil {
+		t.Fatal("ring/engine size mismatch accepted")
+	}
+}
+
+func TestClimbPath(t *testing.T) {
+	n := 256
+	ring := evenRing(t, n)
+	eng := sim.NewEngine(n, sim.Options{Seed: 68})
+	values := agg.GenUniform(n, 0, 1, 7)
+	res, err := MaxOnChord(eng, ring, values, SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Forest
+	for i := 0; i < n; i++ {
+		p := climbPath(f, i)
+		if f.IsRoot(i) {
+			if len(p) != 0 {
+				t.Fatalf("root %d has climb path %v", i, p)
+			}
+			continue
+		}
+		if len(p) != f.Depth(i) {
+			t.Fatalf("node %d climb length %d, depth %d", i, len(p), f.Depth(i))
+		}
+		if p[len(p)-1] != f.RootOf(i) {
+			t.Fatalf("node %d climb ends at %d, root %d", i, p[len(p)-1], f.RootOf(i))
+		}
+	}
+}
+
+func BenchmarkMaxOnChord(b *testing.B) {
+	n := 1024
+	ring := evenRing(b, n)
+	values := agg.GenUniform(n, 0, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(n, sim.Options{Seed: uint64(i)})
+		if _, err := MaxOnChord(eng, ring, values, SparseOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

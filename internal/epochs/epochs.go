@@ -1,0 +1,141 @@
+// Package epochs runs DRR-gossip as a monitoring service: the paper's
+// motivating deployments (sensor fleets, P2P system statistics) do not
+// aggregate once but continuously, re-running the protocol every epoch
+// over drifting values and a changing crash set. This harness chains
+// epochs, tracks per-epoch accuracy and cost, and reports staleness — how
+// far the previous epoch's answer had drifted by the time the next one
+// landed — quantifying the freshness/cost trade-off of periodic gossip
+// aggregation.
+//
+// Each epoch is an independent protocol execution (fresh engine, fresh
+// DRR forest — the paper's robustness argument: nothing persists, so
+// topology churn between epochs is free), with seeds derived from the
+// master seed and epoch index.
+package epochs
+
+import (
+	"errors"
+	"fmt"
+
+	"drrgossip/internal/agg"
+	core "drrgossip/internal/drrgossip"
+	"drrgossip/internal/sim"
+	"drrgossip/internal/xrand"
+)
+
+// Drift evolves the value vector between epochs.
+type Drift func(epoch int, values []float64, rng *xrand.Stream)
+
+// RandomWalkDrift returns a Drift that perturbs every value by a uniform
+// step in [-step, step].
+func RandomWalkDrift(step float64) Drift {
+	return func(epoch int, values []float64, rng *xrand.Stream) {
+		for i := range values {
+			values[i] += step * (2*rng.Float64() - 1)
+		}
+	}
+}
+
+// Options configure a monitoring run.
+type Options struct {
+	N      int     // nodes (>= 2)
+	Epochs int     // number of epochs (>= 1)
+	Seed   uint64  // master seed
+	Loss   float64 // per-message loss within each epoch
+	// CrashFrac crashes a freshly drawn node subset each epoch (churn).
+	CrashFrac float64
+	// Drift evolves values between epochs (nil = no drift).
+	Drift Drift
+	// Pipeline tunes the per-epoch protocol.
+	Pipeline core.Options
+}
+
+// Epoch records one aggregation epoch.
+type Epoch struct {
+	Index     int
+	Estimate  float64 // the protocol's answer this epoch
+	Exact     float64 // the true average over this epoch's alive nodes
+	RelErr    float64
+	Staleness float64 // |previous estimate - this epoch's exact| (drift cost)
+	Alive     int
+	Rounds    int
+	Messages  int64
+}
+
+// Result is a full monitoring run.
+type Result struct {
+	Epochs []Epoch
+	// TotalMessages and TotalRounds accumulate over all epochs.
+	TotalMessages int64
+	TotalRounds   int
+}
+
+// ErrBadOptions reports invalid options.
+var ErrBadOptions = errors.New("epochs: invalid options")
+
+// Run executes the monitoring loop, computing the Average every epoch.
+func Run(opts Options) (*Result, error) {
+	if opts.N < 2 {
+		return nil, fmt.Errorf("%w: N must be >= 2", ErrBadOptions)
+	}
+	if opts.Epochs < 1 {
+		return nil, fmt.Errorf("%w: Epochs must be >= 1", ErrBadOptions)
+	}
+	values := agg.GenUniform(opts.N, 0, 100, xrand.Hash(opts.Seed, 0xE0))
+	driftRNG := xrand.Derive(opts.Seed, 0xE1)
+	res := &Result{}
+	prevEstimate := 0.0
+	for e := 0; e < opts.Epochs; e++ {
+		if e > 0 && opts.Drift != nil {
+			opts.Drift(e, values, driftRNG)
+		}
+		eng := sim.NewEngine(opts.N, sim.Options{
+			Seed:      xrand.Hash(opts.Seed, 0xE2, uint64(e)),
+			Loss:      opts.Loss,
+			CrashFrac: opts.CrashFrac,
+		})
+		run, err := core.Ave(eng, values, opts.Pipeline)
+		if err != nil {
+			return nil, fmt.Errorf("epochs: epoch %d: %w", e, err)
+		}
+		exact := agg.Exact(agg.Average, agg.Subset(values, eng.AliveIDs()), 0)
+		ep := Epoch{
+			Index:    e,
+			Estimate: run.Value,
+			Exact:    exact,
+			RelErr:   agg.RelError(run.Value, exact),
+			Alive:    eng.NumAlive(),
+			Rounds:   run.Stats.Rounds,
+			Messages: run.Stats.Messages,
+		}
+		if e > 0 {
+			ep.Staleness = agg.RelError(prevEstimate, exact)
+		}
+		prevEstimate = run.Value
+		res.Epochs = append(res.Epochs, ep)
+		res.TotalMessages += ep.Messages
+		res.TotalRounds += ep.Rounds
+	}
+	return res, nil
+}
+
+// MeanRelErr returns the mean per-epoch relative error.
+func (r *Result) MeanRelErr() float64 {
+	s := 0.0
+	for _, e := range r.Epochs {
+		s += e.RelErr
+	}
+	return s / float64(len(r.Epochs))
+}
+
+// MeanStaleness returns the mean staleness over epochs after the first.
+func (r *Result) MeanStaleness() float64 {
+	if len(r.Epochs) < 2 {
+		return 0
+	}
+	s := 0.0
+	for _, e := range r.Epochs[1:] {
+		s += e.Staleness
+	}
+	return s / float64(len(r.Epochs)-1)
+}

@@ -1,0 +1,90 @@
+package epochs
+
+import (
+	"testing"
+)
+
+func TestMonitoringLoop(t *testing.T) {
+	res, err := Run(Options{N: 1024, Epochs: 5, Seed: 161, Drift: RandomWalkDrift(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 5 {
+		t.Fatalf("ran %d epochs", len(res.Epochs))
+	}
+	for _, e := range res.Epochs {
+		if e.RelErr > 1e-6 {
+			t.Fatalf("epoch %d rel err %v (lossless must be near-exact)", e.Index, e.RelErr)
+		}
+		if e.Alive != 1024 || e.Messages == 0 || e.Rounds == 0 {
+			t.Fatalf("epoch %d accounting off: %+v", e.Index, e)
+		}
+	}
+	if res.TotalMessages == 0 || res.TotalRounds == 0 {
+		t.Fatal("totals not accumulated")
+	}
+}
+
+func TestStalenessReflectsDrift(t *testing.T) {
+	// With strong drift, the previous epoch's answer must be measurably
+	// staler than the fresh one; with no drift, staleness ~ 0.
+	driftRes, err := Run(Options{N: 512, Epochs: 6, Seed: 162, Drift: RandomWalkDrift(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stillRes, err := Run(Options{N: 512, Epochs: 6, Seed: 162})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if driftRes.MeanStaleness() <= stillRes.MeanStaleness() {
+		t.Fatalf("drift staleness %v <= no-drift staleness %v",
+			driftRes.MeanStaleness(), stillRes.MeanStaleness())
+	}
+	if stillRes.MeanStaleness() > 1e-6 {
+		t.Fatalf("no-drift staleness %v should be ~0", stillRes.MeanStaleness())
+	}
+}
+
+func TestChurnBetweenEpochs(t *testing.T) {
+	// Fresh crash sets per epoch: the protocol restarts from scratch, so
+	// churn between epochs cannot break anything.
+	res, err := Run(Options{N: 1024, Epochs: 4, Seed: 163, CrashFrac: 0.2, Loss: 0.05, Drift: RandomWalkDrift(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliveSets := map[int]bool{}
+	for _, e := range res.Epochs {
+		if e.RelErr > 0.05 {
+			t.Fatalf("epoch %d rel err %v under churn", e.Index, e.RelErr)
+		}
+		aliveSets[e.Alive] = true
+	}
+	if len(aliveSets) < 2 {
+		t.Fatal("crash churn did not vary the alive set")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Options{N: 1, Epochs: 1}); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	if _, err := Run(Options{N: 10, Epochs: 0}); err == nil {
+		t.Fatal("Epochs=0 accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(Options{N: 256, Epochs: 3, Seed: 164, Drift: RandomWalkDrift(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{N: 256, Epochs: 3, Seed: 164, Drift: RandomWalkDrift(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Epochs {
+		if a.Epochs[i].Estimate != b.Epochs[i].Estimate {
+			t.Fatal("monitoring loop not deterministic")
+		}
+	}
+}

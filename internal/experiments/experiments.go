@@ -1,0 +1,172 @@
+// Package experiments reproduces every evaluation artifact of the paper:
+// Table 1 (experiment T1), the quantitative theorems as measured figures
+// (F2-F12) and three ablations (A1-A3). See DESIGN.md §3 for the full
+// index mapping each experiment to the paper and to the modules involved.
+//
+// Each experiment returns a Report with rendered tables (pasteable into
+// EXPERIMENTS.md) and machine-checked Verdicts asserting the *shape* of
+// the results — who wins, by what growth factor, where crossovers fall —
+// never absolute numbers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config parameterises an experiment run.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical reports.
+	Seed uint64
+	// Quick shrinks network sizes and trial counts for CI; full runs are
+	// the default for the harness binary.
+	Quick bool
+	// Trials overrides the number of repetitions per configuration
+	// (0 = experiment default).
+	Trials int
+}
+
+func (c Config) trials(def int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Quick && def > 2 {
+		return 2
+	}
+	return def
+}
+
+// sizes returns the sweep sizes. Quick mode subsamples down to four
+// points while keeping the full range — shape discrimination needs range,
+// not density.
+func (c Config) sizes(full []int) []int {
+	if !c.Quick || len(full) <= 4 {
+		return full
+	}
+	idx := []int{0, len(full) / 3, 2 * len(full) / 3, len(full) - 1}
+	out := make([]int, 0, 4)
+	prev := -1
+	for _, i := range idx {
+		if full[i] != prev {
+			out = append(out, full[i])
+			prev = full[i]
+		}
+	}
+	return out
+}
+
+// Verdict is a machine-checked claim about an experiment's outcome.
+type Verdict struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Report is an experiment's rendered outcome.
+type Report struct {
+	ID       string
+	Title    string
+	Tables   []string
+	Verdicts []Verdict
+}
+
+// Passed reports whether every verdict held.
+func (r *Report) Passed() bool {
+	for _, v := range r.Verdicts {
+		if !v.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t)
+		b.WriteByte('\n')
+	}
+	for _, v := range r.Verdicts {
+		mark := "PASS"
+		if !v.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s: %s\n", mark, v.Name, v.Detail)
+	}
+	return b.String()
+}
+
+// Experiment is a runnable evaluation artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Report, error)
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"T1", "Table 1: DRR-gossip vs uniform gossip vs efficient gossip", RunT1},
+		{"F2", "Theorem 2: DRR tree count is Θ(n/log n)", RunF2},
+		{"F3", "Theorem 3: DRR tree size is O(log n)", RunF3},
+		{"F4", "Theorem 4: DRR costs O(n loglog n) messages, O(log n) rounds", RunF4},
+		{"F5", "Theorem 5: gossip procedure reaches a constant fraction of roots", RunF5},
+		{"F6", "Theorem 6: sampling procedure reaches all roots", RunF6},
+		{"F7", "Theorems 7/10 + Lemma 8: Gossip-ave convergence and potential decay", RunF7},
+		{"F8", "End-to-end DRR-gossip: per-phase breakdown and correctness", RunF8},
+		{"F9", "Theorem 11: Local-DRR tree height is O(log n) on arbitrary graphs", RunF9},
+		{"F10", "Theorem 13: Local-DRR tree count is Σ 1/(d_i+1)", RunF10},
+		{"F11", "Theorem 14: DRR-gossip vs uniform gossip on Chord", RunF11},
+		{"F12", "Theorem 15: the address-oblivious Ω(n log n) separation", RunF12},
+		{"A1", "Ablation: DRR probe budget", RunA1},
+		{"A2", "Ablation: message-loss sweep", RunA2},
+		{"A3", "Ablation: clusterhead heuristic bootstrap cost", RunA3},
+	}
+}
+
+// ByID returns the experiment with the given id (case-insensitive).
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, len(reg))
+	for i, e := range reg {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// verdictf builds a verdict with a formatted detail string.
+func verdictf(name string, pass bool, format string, args ...any) Verdict {
+	return Verdict{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+}
+
+// floats converts ints for the fitters.
+func floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// sortedKeys returns map keys in increasing order (deterministic tables).
+func sortedKeys[M ~map[int]V, V any](m M) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps CI fast; the harness binary runs the full sizes.
+var quickCfg = Config{Seed: 7, Quick: true}
+
+func runAndCheck(t *testing.T, id string) *Report {
+	t.Helper()
+	exp, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	rep, err := exp.Run(quickCfg)
+	if err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	if rep.ID != id {
+		t.Fatalf("report id %q, want %q", rep.ID, id)
+	}
+	if len(rep.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	for _, v := range rep.Verdicts {
+		if !v.Pass {
+			t.Errorf("%s verdict failed: %s (%s)", id, v.Name, v.Detail)
+		}
+	}
+	return rep
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "A1", "A2", "A3"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, ok := ByID("t1"); !ok {
+		t.Fatal("ByID not case-insensitive")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{
+		ID: "X", Title: "demo",
+		Tables:   []string{"table-body\n"},
+		Verdicts: []Verdict{{Name: "a", Pass: true, Detail: "ok"}, {Name: "b", Pass: false, Detail: "bad"}},
+	}
+	s := rep.String()
+	for _, want := range []string{"### X — demo", "table-body", "[PASS] a", "[FAIL] b"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	if rep.Passed() {
+		t.Fatal("Passed with a failing verdict")
+	}
+}
+
+func TestT1(t *testing.T)  { runAndCheck(t, "T1") }
+func TestF2(t *testing.T)  { runAndCheck(t, "F2") }
+func TestF3(t *testing.T)  { runAndCheck(t, "F3") }
+func TestF4(t *testing.T)  { runAndCheck(t, "F4") }
+func TestF5(t *testing.T)  { runAndCheck(t, "F5") }
+func TestF6(t *testing.T)  { runAndCheck(t, "F6") }
+func TestF7(t *testing.T)  { runAndCheck(t, "F7") }
+func TestF8(t *testing.T)  { runAndCheck(t, "F8") }
+func TestF9(t *testing.T)  { runAndCheck(t, "F9") }
+func TestF10(t *testing.T) { runAndCheck(t, "F10") }
+func TestF11(t *testing.T) { runAndCheck(t, "F11") }
+func TestF12(t *testing.T) { runAndCheck(t, "F12") }
+func TestA1(t *testing.T)  { runAndCheck(t, "A1") }
+func TestA2(t *testing.T)  { runAndCheck(t, "A2") }
+func TestA3(t *testing.T)  { runAndCheck(t, "A3") }
+
+func TestItoa(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want string
+	}{{0, "0"}, {7, "7"}, {4096, "4096"}} {
+		if got := itoa(c.n); got != c.want {
+			t.Fatalf("itoa(%d) = %q", c.n, got)
+		}
+	}
+}

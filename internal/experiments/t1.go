@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"drrgossip/internal/agg"
+	"drrgossip/internal/drrgossip"
+	"drrgossip/internal/kashyap"
+	"drrgossip/internal/kempe"
+	"drrgossip/internal/metrics"
+	"drrgossip/internal/sim"
+	"drrgossip/internal/tablefmt"
+	"drrgossip/internal/xrand"
+)
+
+// algoRun is one algorithm's measured cost for computing Ave.
+type algoRun struct {
+	rounds   float64
+	messages float64
+	relErr   float64
+}
+
+// RunT1 reproduces Table 1: all three algorithms compute the Average at
+// every size; we report rounds, messages and messages/node, then verify
+// the complexity shapes the table claims.
+func RunT1(cfg Config) (*Report, error) {
+	ns := cfg.sizes([]int{256, 512, 1024, 2048, 4096, 8192, 16384})
+	trials := cfg.trials(3)
+
+	series := map[string][]algoRun{}
+	for _, n := range ns {
+		values := agg.GenUniform(n, 0, 100, xrand.Hash(cfg.Seed, uint64(n)))
+		want := agg.Exact(agg.Average, values, 0)
+		var drrAcc, kasAcc, kemAcc algoRun
+		for trial := 0; trial < trials; trial++ {
+			seed := xrand.Hash(cfg.Seed, 0x71, uint64(n), uint64(trial))
+
+			dres, err := drrgossip.Ave(sim.NewEngine(n, sim.Options{Seed: seed}), values, drrgossip.Options{})
+			if err != nil {
+				return nil, err
+			}
+			drrAcc.rounds += float64(dres.Stats.Rounds)
+			drrAcc.messages += float64(dres.Stats.Messages)
+			drrAcc.relErr += agg.RelError(dres.Value, want)
+
+			kres, err := kashyap.Ave(sim.NewEngine(n, sim.Options{Seed: seed + 1}), values, kashyap.Options{})
+			if err != nil {
+				return nil, err
+			}
+			kasAcc.rounds += float64(kres.Stats.Rounds)
+			kasAcc.messages += float64(kres.Stats.Messages)
+			kasAcc.relErr += agg.RelError(kres.Value, want)
+
+			mres, err := kempe.PushSum(sim.NewEngine(n, sim.Options{Seed: seed + 2}), values, kempe.Options{})
+			if err != nil {
+				return nil, err
+			}
+			kemAcc.rounds += float64(mres.Stats.Rounds)
+			kemAcc.messages += float64(mres.Stats.Messages)
+			worst := 0.0
+			for _, v := range mres.Estimates {
+				if e := agg.RelError(v, want); e > worst {
+					worst = e
+				}
+			}
+			kemAcc.relErr += worst
+		}
+		for name, acc := range map[string]algoRun{"drr": drrAcc, "kashyap": kasAcc, "kempe": kemAcc} {
+			series[name] = append(series[name], algoRun{
+				rounds:   acc.rounds / float64(trials),
+				messages: acc.messages / float64(trials),
+				relErr:   acc.relErr / float64(trials),
+			})
+		}
+	}
+
+	tb := tablefmt.New("Table 1 (measured): computing Ave, mean over trials",
+		"n", "alg", "rounds", "messages", "msgs/n", "rel.err")
+	for i, n := range ns {
+		for _, alg := range []string{"drr", "kashyap", "kempe"} {
+			r := series[alg][i]
+			tb.AddRow(n, alg, r.rounds, r.messages, r.messages/float64(n), r.relErr)
+		}
+	}
+
+	nf := floats(ns)
+	perNode := func(alg string) []float64 {
+		out := make([]float64, len(ns))
+		for i := range ns {
+			out[i] = series[alg][i].messages / float64(ns[i])
+		}
+		return out
+	}
+	rounds := func(alg string) []float64 {
+		out := make([]float64, len(ns))
+		for i := range ns {
+			out[i] = series[alg][i].rounds
+		}
+		return out
+	}
+
+	drrMsg, kasMsg, kemMsg := perNode("drr"), perNode("kashyap"), perNode("kempe")
+	drrRnd, kasRnd, kemRnd := rounds("drr"), rounds("kashyap"), rounds("kempe")
+	tb.AddNote("drr msgs/n affine fit: %s", metrics.FitAffineBest(nf, drrMsg, metrics.TimeShapes)[0])
+	tb.AddNote("kashyap msgs/n affine fit: %s", metrics.FitAffineBest(nf, kasMsg, metrics.TimeShapes)[0])
+	tb.AddNote("kempe msgs/n affine fit: %s", metrics.FitAffineBest(nf, kemMsg, metrics.TimeShapes)[0])
+
+	last := len(ns) - 1
+	verdicts := []Verdict{
+		verdictf("drr messages are n loglog n, not n log n",
+			metrics.CloserShape(nf, drrMsg, metrics.ShapeLogLogN, metrics.ShapeLogN),
+			"msgs/n %v -> %v over n %d -> %d", drrMsg[0], drrMsg[last], ns[0], ns[last]),
+		verdictf("kashyap messages are n loglog n, not n log n",
+			metrics.CloserShape(nf, kasMsg, metrics.ShapeLogLogN, metrics.ShapeLogN),
+			"msgs/n %v -> %v", kasMsg[0], kasMsg[last]),
+		verdictf("kempe messages are n log n, not n loglog n",
+			metrics.CloserShape(nf, kemMsg, metrics.ShapeLogN, metrics.ShapeLogLogN),
+			"msgs/n %v -> %v", kemMsg[0], kemMsg[last]),
+		verdictf("drr time is log n, not log n loglog n",
+			metrics.CloserShape(nf, drrRnd, metrics.ShapeLogN, metrics.ShapeLogNLogL),
+			"rounds %v -> %v", drrRnd[0], drrRnd[last]),
+		verdictf("kempe time is log n",
+			metrics.CloserShape(nf, kemRnd, metrics.ShapeLogN, metrics.ShapeLogNLogL),
+			"rounds %v -> %v", kemRnd[0], kemRnd[last]),
+		verdictf("kashyap time is log n loglog n, not log n",
+			metrics.CloserShape(nf, kasRnd, metrics.ShapeLogNLogL, metrics.ShapeLogN),
+			"rounds %v -> %v", kasRnd[0], kasRnd[last]),
+		verdictf("message winner at largest n: drr & kashyap beat kempe",
+			drrMsg[last] < kemMsg[last] && kasMsg[last] < kemMsg[last],
+			"msgs/n at n=%d: drr %v, kashyap %v, kempe %v", ns[last], drrMsg[last], kasMsg[last], kemMsg[last]),
+		verdictf("time winner at largest n: drr & kempe beat kashyap",
+			drrRnd[last] < kasRnd[last] && kemRnd[last] < kasRnd[last],
+			"rounds at n=%d: drr %v, kempe %v, kashyap %v", ns[last], drrRnd[last], kemRnd[last], kasRnd[last]),
+	}
+	return &Report{ID: "T1", Title: "Table 1 reproduction", Tables: []string{tb.String()}, Verdicts: verdicts}, nil
+}

@@ -1,0 +1,280 @@
+// Package forest provides the disjoint-tree data structure produced by
+// Phase I of DRR-gossip (the "ranking forest" F) and the structural
+// invariants the paper's analysis relies on: acyclicity, tree sizes
+// (Theorem 3), tree count (Theorem 2), and heights (Theorem 11).
+//
+// A forest is represented by a parent vector over nodes 0..n-1; crashed or
+// otherwise absent nodes are marked NotMember and belong to no tree.
+package forest
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	// Root marks a node with no parent (a tree root).
+	Root = -1
+	// NotMember marks a node outside the forest (e.g. crashed initially).
+	NotMember = -2
+)
+
+// Forest is an immutable rooted forest. Build instances with FromParents.
+type Forest struct {
+	parent   []int
+	children [][]int
+	rootOf   []int // per-node root (NotMember for non-members)
+	depth    []int // per-node depth from its root (0 at roots)
+	roots    []int // sorted root list
+	members  int
+}
+
+// FromParents validates a parent vector (entries: a parent id, Root, or
+// NotMember) and builds the forest. It fails on cycles, on parents
+// pointing to non-members, and on out-of-range entries.
+func FromParents(parent []int) (*Forest, error) {
+	n := len(parent)
+	f := &Forest{
+		parent:   append([]int(nil), parent...),
+		children: make([][]int, n),
+		rootOf:   make([]int, n),
+		depth:    make([]int, n),
+	}
+	for i, p := range parent {
+		switch {
+		case p == Root:
+			f.roots = append(f.roots, i)
+			f.members++
+		case p == NotMember:
+		case p < 0 || p >= n:
+			return nil, fmt.Errorf("forest: node %d has out-of-range parent %d", i, p)
+		case p == i:
+			return nil, fmt.Errorf("forest: node %d is its own parent", i)
+		case parent[p] == NotMember:
+			return nil, fmt.Errorf("forest: node %d has non-member parent %d", i, p)
+		default:
+			f.children[p] = append(f.children[p], i)
+			f.members++
+		}
+	}
+	// Resolve roots and depths iteratively with cycle detection: walk each
+	// unresolved path once, marking as we return.
+	const unresolved = -3
+	for i := range f.rootOf {
+		f.rootOf[i] = unresolved
+	}
+	var stack []int
+	for i := 0; i < n; i++ {
+		if f.rootOf[i] != unresolved {
+			continue
+		}
+		if parent[i] == NotMember {
+			f.rootOf[i] = NotMember
+			continue
+		}
+		stack = stack[:0]
+		cur := i
+		for {
+			if f.rootOf[cur] != unresolved {
+				break // reached resolved region
+			}
+			if parent[cur] == Root {
+				f.rootOf[cur] = cur
+				f.depth[cur] = 0
+				break
+			}
+			stack = append(stack, cur)
+			if len(stack) > n {
+				return nil, errors.New("forest: cycle detected")
+			}
+			cur = parent[cur]
+			if parent[cur] == NotMember {
+				return nil, fmt.Errorf("forest: path from %d leaves the forest at %d", i, cur)
+			}
+		}
+		if f.rootOf[cur] == NotMember {
+			return nil, fmt.Errorf("forest: path from %d reaches non-member %d", i, cur)
+		}
+		for k := len(stack) - 1; k >= 0; k-- {
+			v := stack[k]
+			p := parent[v]
+			if f.rootOf[p] == unresolved {
+				return nil, errors.New("forest: cycle detected")
+			}
+			f.rootOf[v] = f.rootOf[p]
+			f.depth[v] = f.depth[p] + 1
+		}
+	}
+	return f, nil
+}
+
+// N returns the number of node slots (members and non-members).
+func (f *Forest) N() int { return len(f.parent) }
+
+// NumMembers returns the number of forest members.
+func (f *Forest) NumMembers() int { return f.members }
+
+// Member reports whether node i belongs to the forest.
+func (f *Forest) Member(i int) bool { return f.parent[i] != NotMember }
+
+// Parent returns node i's parent, Root for roots, NotMember for
+// non-members.
+func (f *Forest) Parent(i int) int { return f.parent[i] }
+
+// Children returns node i's children (sorted ascending by construction).
+// The caller must not modify the returned slice.
+func (f *Forest) Children(i int) []int { return f.children[i] }
+
+// IsRoot reports whether node i is a tree root.
+func (f *Forest) IsRoot(i int) bool { return f.parent[i] == Root }
+
+// IsLeaf reports whether node i is a member with no children.
+func (f *Forest) IsLeaf(i int) bool {
+	return f.Member(i) && len(f.children[i]) == 0
+}
+
+// Roots returns the sorted list of tree roots. The caller must not modify
+// it.
+func (f *Forest) Roots() []int { return f.roots }
+
+// NumTrees returns the number of trees.
+func (f *Forest) NumTrees() int { return len(f.roots) }
+
+// RootOf returns the root of node i's tree (NotMember for non-members).
+func (f *Forest) RootOf(i int) int { return f.rootOf[i] }
+
+// Depth returns node i's distance from its root (0 for roots and
+// non-members).
+func (f *Forest) Depth(i int) int {
+	if !f.Member(i) {
+		return 0
+	}
+	return f.depth[i]
+}
+
+// TreeSize returns the number of nodes in the tree rooted at root.
+func (f *Forest) TreeSize(root int) int {
+	size := 0
+	for i := range f.rootOf {
+		if f.rootOf[i] == root && f.Member(i) {
+			size++
+		}
+	}
+	return size
+}
+
+// TreeSizes returns a map from root to tree size.
+func (f *Forest) TreeSizes() map[int]int {
+	sizes := make(map[int]int, len(f.roots))
+	for i, r := range f.rootOf {
+		if r >= 0 && f.Member(i) {
+			sizes[r]++
+		}
+	}
+	return sizes
+}
+
+// MaxTreeSize returns the largest tree size (0 for an empty forest).
+func (f *Forest) MaxTreeSize() int {
+	m := 0
+	for _, s := range f.TreeSizes() {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// LargestRoot returns the root of the largest tree, breaking ties by the
+// smaller root id. It panics on an empty forest.
+func (f *Forest) LargestRoot() int {
+	if len(f.roots) == 0 {
+		panic("forest: LargestRoot of empty forest")
+	}
+	sizes := f.TreeSizes()
+	best, bestSize := -1, -1
+	for _, r := range f.roots {
+		if s := sizes[r]; s > bestSize || (s == bestSize && r < best) {
+			best, bestSize = r, s
+		}
+	}
+	return best
+}
+
+// Height returns the height of the tree rooted at root: the maximum depth
+// among its members (0 for a singleton tree).
+func (f *Forest) Height(root int) int {
+	h := 0
+	for i, r := range f.rootOf {
+		if r == root && f.depth[i] > h {
+			h = f.depth[i]
+		}
+	}
+	return h
+}
+
+// MaxHeight returns the maximum tree height in the forest.
+func (f *Forest) MaxHeight() int {
+	h := 0
+	for i, r := range f.rootOf {
+		if r >= 0 && f.depth[i] > h {
+			h = f.depth[i]
+		}
+	}
+	return h
+}
+
+// LeavesFirst returns members ordered by decreasing depth (leaves before
+// their parents): the schedule order for convergecast.
+func (f *Forest) LeavesFirst() []int {
+	maxD := 0
+	for i := range f.depth {
+		if f.Member(i) && f.depth[i] > maxD {
+			maxD = f.depth[i]
+		}
+	}
+	buckets := make([][]int, maxD+1)
+	for i := range f.depth {
+		if f.Member(i) {
+			buckets[f.depth[i]] = append(buckets[f.depth[i]], i)
+		}
+	}
+	out := make([]int, 0, f.members)
+	for d := maxD; d >= 0; d-- {
+		out = append(out, buckets[d]...)
+	}
+	return out
+}
+
+// Validate re-checks all structural invariants; it is used by property
+// tests on protocol-constructed forests.
+func (f *Forest) Validate() error {
+	seen := 0
+	for _, r := range f.roots {
+		if !f.IsRoot(r) {
+			return fmt.Errorf("forest: listed root %d is not a root", r)
+		}
+	}
+	for i := 0; i < f.N(); i++ {
+		if !f.Member(i) {
+			continue
+		}
+		seen++
+		r := f.rootOf[i]
+		if r < 0 || !f.IsRoot(r) {
+			return fmt.Errorf("forest: node %d has invalid root %d", i, r)
+		}
+		if p := f.parent[i]; p >= 0 {
+			if f.depth[i] != f.depth[p]+1 {
+				return fmt.Errorf("forest: depth mismatch at %d", i)
+			}
+			if f.rootOf[p] != r {
+				return fmt.Errorf("forest: root mismatch along edge (%d,%d)", i, p)
+			}
+		}
+	}
+	if seen != f.members {
+		return fmt.Errorf("forest: member count mismatch %d vs %d", seen, f.members)
+	}
+	return nil
+}

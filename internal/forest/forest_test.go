@@ -1,0 +1,242 @@
+package forest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drrgossip/internal/xrand"
+)
+
+// sample forest:
+//
+//	0 (root) -> children 1, 2; 1 -> child 3
+//	4 (root) singleton
+//	5 not a member
+func sample(t *testing.T) *Forest {
+	t.Helper()
+	f, err := FromParents([]int{Root, 0, 0, 1, Root, NotMember})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBasicStructure(t *testing.T) {
+	f := sample(t)
+	if f.N() != 6 || f.NumMembers() != 5 || f.NumTrees() != 2 {
+		t.Fatalf("N=%d members=%d trees=%d", f.N(), f.NumMembers(), f.NumTrees())
+	}
+	if !f.IsRoot(0) || !f.IsRoot(4) || f.IsRoot(1) {
+		t.Fatal("root flags wrong")
+	}
+	if f.Member(5) {
+		t.Fatal("node 5 should not be a member")
+	}
+	if !f.IsLeaf(3) || !f.IsLeaf(2) || f.IsLeaf(1) || f.IsLeaf(5) {
+		t.Fatal("leaf flags wrong")
+	}
+	if got := f.Children(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Children(0) = %v", got)
+	}
+}
+
+func TestRootOfAndDepth(t *testing.T) {
+	f := sample(t)
+	wantRoot := []int{0, 0, 0, 0, 4, NotMember}
+	wantDepth := []int{0, 1, 1, 2, 0, 0}
+	for i := 0; i < 6; i++ {
+		if f.RootOf(i) != wantRoot[i] {
+			t.Fatalf("RootOf(%d) = %d, want %d", i, f.RootOf(i), wantRoot[i])
+		}
+		if f.Depth(i) != wantDepth[i] {
+			t.Fatalf("Depth(%d) = %d, want %d", i, f.Depth(i), wantDepth[i])
+		}
+	}
+}
+
+func TestSizesHeightsLargest(t *testing.T) {
+	f := sample(t)
+	sizes := f.TreeSizes()
+	if sizes[0] != 4 || sizes[4] != 1 {
+		t.Fatalf("TreeSizes = %v", sizes)
+	}
+	if f.TreeSize(0) != 4 || f.TreeSize(4) != 1 {
+		t.Fatal("TreeSize wrong")
+	}
+	if f.MaxTreeSize() != 4 {
+		t.Fatalf("MaxTreeSize = %d", f.MaxTreeSize())
+	}
+	if f.LargestRoot() != 0 {
+		t.Fatalf("LargestRoot = %d", f.LargestRoot())
+	}
+	if f.Height(0) != 2 || f.Height(4) != 0 || f.MaxHeight() != 2 {
+		t.Fatalf("heights wrong: %d %d %d", f.Height(0), f.Height(4), f.MaxHeight())
+	}
+}
+
+func TestLeavesFirst(t *testing.T) {
+	f := sample(t)
+	order := f.LeavesFirst()
+	if len(order) != 5 {
+		t.Fatalf("LeavesFirst covered %d members", len(order))
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Every child must appear before its parent.
+	for i := 0; i < f.N(); i++ {
+		if p := f.Parent(i); p >= 0 && pos[i] > pos[p] {
+			t.Fatalf("child %d after parent %d in %v", i, p, order)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsCycles(t *testing.T) {
+	cases := [][]int{
+		{1, 0},          // 2-cycle
+		{1, 2, 0},       // 3-cycle
+		{Root, 2, 3, 1}, // cycle off a root component
+		{0},             // self-parent
+	}
+	for i, parents := range cases {
+		if _, err := FromParents(parents); err == nil {
+			t.Fatalf("case %d: cycle accepted", i)
+		}
+	}
+}
+
+func TestRejectsBadParents(t *testing.T) {
+	if _, err := FromParents([]int{Root, 7}); err == nil {
+		t.Fatal("out-of-range parent accepted")
+	}
+	if _, err := FromParents([]int{NotMember, 0}); err == nil {
+		t.Fatal("parent pointing at non-member accepted")
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	f, err := FromParents([]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumTrees() != 0 || f.MaxHeight() != 0 || f.MaxTreeSize() != 0 {
+		t.Fatal("empty forest stats wrong")
+	}
+	f2, err := FromParents([]int{Root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumTrees() != 1 || f2.TreeSize(0) != 1 || f2.Height(0) != 0 {
+		t.Fatal("singleton stats wrong")
+	}
+}
+
+func TestLargestRootTieBreaksLow(t *testing.T) {
+	// Two singleton trees: roots 0 and 1; tie must pick 0.
+	f, err := FromParents([]int{Root, Root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LargestRoot() != 0 {
+		t.Fatalf("LargestRoot tie = %d, want 0", f.LargestRoot())
+	}
+}
+
+func TestLargestRootEmptyPanics(t *testing.T) {
+	f, _ := FromParents([]int{NotMember})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LargestRoot on empty forest did not panic")
+		}
+	}()
+	f.LargestRoot()
+}
+
+// randomParents builds a valid random forest parent vector by connecting
+// each node to a lower-indexed node or making it a root; a suffix of nodes
+// may be non-members.
+func randomParents(n int, seed uint64) []int {
+	rng := xrand.Derive(seed, 0xF0E, uint64(n))
+	parents := make([]int, n)
+	for i := range parents {
+		switch {
+		case rng.Float64() < 0.1:
+			parents[i] = NotMember
+		case i == 0 || rng.Float64() < 0.25:
+			parents[i] = Root
+		default:
+			// Pick a lower member parent; fall back to Root.
+			parents[i] = Root
+			for try := 0; try < 5; try++ {
+				p := rng.Intn(i)
+				if parents[p] != NotMember {
+					parents[i] = p
+					break
+				}
+			}
+		}
+	}
+	return parents
+}
+
+// Property: structural invariants hold for arbitrary valid forests.
+func TestForestProperties(t *testing.T) {
+	f := func(seed uint16, sz uint8) bool {
+		n := int(sz%100) + 1
+		parents := randomParents(n, uint64(seed))
+		fo, err := FromParents(parents)
+		if err != nil {
+			t.Logf("unexpected build error: %v", err)
+			return false
+		}
+		if fo.Validate() != nil {
+			return false
+		}
+		// Tree sizes sum to member count.
+		total := 0
+		for _, s := range fo.TreeSizes() {
+			total += s
+		}
+		if total != fo.NumMembers() {
+			return false
+		}
+		// Every member's root is a root and reachable via parents.
+		for i := 0; i < n; i++ {
+			if !fo.Member(i) {
+				continue
+			}
+			cur, steps := i, 0
+			for fo.Parent(cur) >= 0 {
+				cur = fo.Parent(cur)
+				steps++
+				if steps > n {
+					return false
+				}
+			}
+			if cur != fo.RootOf(i) || steps != fo.Depth(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFromParents(b *testing.B) {
+	parents := randomParents(8192, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromParents(parents); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package gossip implements Phase III of DRR-gossip: the root-level
+// gossip algorithms of the paper — Gossip-max (Algorithm 4), Data-spread
+// (Algorithm 5) and Gossip-ave (Algorithm 6, a push-sum variant).
+//
+// All three run on the virtual clique G̃ = clique(V̂) of tree roots. A root
+// selects a node uniformly at random from all of V and sends it a message;
+// a non-root forwards the message to its own root within the same round
+// (the non-address-oblivious step, 2 hops = 2 messages via sim.SendVia).
+// Consequently a root is selected with probability proportional to its
+// tree size — exactly the non-uniformity the paper's Theorems 5-7 analyse.
+//
+// Per-message loss needs no special handling here: Gossip-max tolerates it
+// statistically (Theorem 5 carries the (1-ρ) factor) and is finished off
+// by the sampling procedure (Theorem 6); in Gossip-ave a lost share
+// removes proportional (s, g) mass, which perturbs but does not bias the
+// converging ratio (Lemma 8 keeps the (1-δ) selection factor).
+package gossip
+
+import (
+	"fmt"
+	"math"
+
+	"drrgossip/internal/convergecast"
+	"drrgossip/internal/forest"
+	"drrgossip/internal/sim"
+)
+
+const (
+	kindGossipVal uint8 = 0x31
+	kindInquiry   uint8 = 0x32
+	kindInqReply  uint8 = 0x33
+	kindAveShare  uint8 = 0x34
+)
+
+// Options tune Gossip-max and Data-spread. Zero values pick defaults
+// scaled as in the paper: O(log n) gossip rounds (with the 1/(1-ρ) loss
+// inflation, ρ = 2δ) and O(log n) sampling rounds.
+type Options struct {
+	GossipRounds int // gossip-procedure iterations (1 round each)
+	SampleRounds int // sampling-procedure iterations (2 rounds each)
+}
+
+// lossInflate scales a round budget by the paper's 1/(1-ρ) factor, where
+// ρ = 2δ is the per-relay link-failure probability, further divided by the
+// alive fraction (shares aimed at initially-crashed relays are wasted
+// rounds).
+func lossInflate(base int, eng *sim.Engine) int {
+	rho := 2 * eng.Loss()
+	if rho >= 0.9 {
+		rho = 0.9
+	}
+	alive := float64(eng.NumAlive()) / float64(eng.N())
+	return int(math.Ceil(float64(base)/((1-rho)*alive))) + 1
+}
+
+func defaultGossipRounds(eng *sim.Engine) int {
+	return lossInflate(2*ceilLog2(eng.N())+12, eng)
+}
+
+func defaultSampleRounds(eng *sim.Engine) int {
+	return lossInflate(ceilLog2(eng.N())+8, eng)
+}
+
+func ceilLog2(n int) int {
+	l := int(math.Ceil(math.Log2(float64(n))))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// MaxResult is the outcome of Gossip-max.
+type MaxResult struct {
+	// Estimates holds each root's final Max estimate (after sampling).
+	Estimates map[int]float64
+	// AfterGossip holds the estimates after the gossip procedure only —
+	// the quantity Theorem 5 bounds (a constant fraction of roots already
+	// hold the true Max).
+	AfterGossip map[int]float64
+	Stats       sim.Counters
+}
+
+// checkInputs validates the shared preconditions of the Phase III entry
+// points.
+func checkInputs(eng *sim.Engine, f *forest.Forest, rootTo []int) error {
+	if f.N() != eng.N() {
+		return fmt.Errorf("gossip: forest has %d nodes, engine %d", f.N(), eng.N())
+	}
+	if len(rootTo) != eng.N() {
+		return fmt.Errorf("gossip: rootTo has %d entries, engine %d", len(rootTo), eng.N())
+	}
+	if f.NumTrees() == 0 {
+		return fmt.Errorf("gossip: empty forest")
+	}
+	return nil
+}
+
+// relayTarget picks the relay node j (uniform over V minus the chooser)
+// and the destination root it forwards to. A crashed or root-less relay
+// still consumes the send (the message dies at the relay).
+func relayTarget(eng *sim.Engine, rootTo []int, chooser int) (relay, dst int) {
+	j := eng.RNG(chooser).IntnOther(eng.N(), chooser)
+	dst = rootTo[j]
+	if dst < 0 {
+		dst = j // dead end: deliver "to the relay", which drops it
+	}
+	return j, dst
+}
+
+// Max runs Algorithm 4 on the roots of f. init maps every root to its
+// initial value (e.g. the convergecast-max of its tree); rootTo gives
+// every node's root address (from the Phase II broadcast).
+func Max(eng *sim.Engine, f *forest.Forest, rootTo []int, init map[int]float64, opts Options) (*MaxResult, error) {
+	if err := checkInputs(eng, f, rootTo); err != nil {
+		return nil, err
+	}
+	start := eng.Stats()
+	roots := f.Roots()
+	val := make(map[int]float64, len(roots))
+	for _, r := range roots {
+		v, ok := init[r]
+		if !ok {
+			return nil, fmt.Errorf("gossip: missing init value for root %d", r)
+		}
+		val[r] = v
+	}
+
+	gossipRounds := opts.GossipRounds
+	if gossipRounds == 0 {
+		gossipRounds = defaultGossipRounds(eng)
+	}
+	sampleRounds := opts.SampleRounds
+	if sampleRounds == 0 {
+		sampleRounds = defaultSampleRounds(eng)
+	}
+
+	// Gossip procedure: push the current estimate to a random node's root.
+	for t := 0; t < gossipRounds; t++ {
+		for _, r := range roots {
+			relay, dst := relayTarget(eng, rootTo, r)
+			eng.SendVia(r, relay, dst, sim.Payload{Kind: kindGossipVal, A: val[r]})
+		}
+		eng.Tick()
+		for _, r := range roots {
+			for _, m := range eng.Inbox(r) {
+				if m.Pay.Kind == kindGossipVal && m.Pay.A > val[r] {
+					val[r] = m.Pay.A
+				}
+			}
+		}
+	}
+	after := make(map[int]float64, len(val))
+	for r, v := range val {
+		after[r] = v
+	}
+
+	// Sampling procedure: inquire a random node's root and adopt its
+	// value if larger. Each iteration takes two rounds (inquiry out,
+	// reply back).
+	for t := 0; t < sampleRounds; t++ {
+		for _, r := range roots {
+			relay, dst := relayTarget(eng, rootTo, r)
+			eng.SendVia(r, relay, dst, sim.Payload{Kind: kindInquiry, X: int64(r)})
+		}
+		eng.Tick()
+		for _, r := range roots {
+			for _, m := range eng.Inbox(r) {
+				if m.Pay.Kind == kindInquiry {
+					eng.Send(r, int(m.Pay.X), sim.Payload{Kind: kindInqReply, A: val[r]})
+				}
+			}
+		}
+		eng.Tick()
+		for _, r := range roots {
+			for _, m := range eng.Inbox(r) {
+				if m.Pay.Kind == kindInqReply && m.Pay.A > val[r] {
+					val[r] = m.Pay.A
+				}
+			}
+		}
+	}
+	return &MaxResult{
+		Estimates:   val,
+		AfterGossip: after,
+		Stats:       eng.Stats().Sub(start),
+	}, nil
+}
+
+// Spread runs Data-spread (Algorithm 5): the source root's value is
+// spread to all roots by running Gossip-max with every other root
+// initialised to -Inf.
+func Spread(eng *sim.Engine, f *forest.Forest, rootTo []int, source int, value float64, opts Options) (*MaxResult, error) {
+	if !f.IsRoot(source) {
+		return nil, fmt.Errorf("gossip: spread source %d is not a root", source)
+	}
+	init := make(map[int]float64, f.NumTrees())
+	for _, r := range f.Roots() {
+		init[r] = math.Inf(-1)
+	}
+	init[source] = value
+	return Max(eng, f, rootTo, init, opts)
+}
+
+// AveOptions tune Gossip-ave.
+type AveOptions struct {
+	// Rounds is the number of push-sum iterations; 0 means the paper's
+	// O(log m + log 1/ε) with ε = n^-2, loss-inflated.
+	Rounds int
+	// TrackRoot records the per-round estimate trajectory of this root
+	// (-1 to disable): the convergence curve of Theorem 7.
+	TrackRoot int
+	// TrackPotential additionally maintains the contribution vectors
+	// y_{t,i} of the analysis and records the potential Φ_t of Lemma 8
+	// every round. Costs O(m^2) memory; enable only in experiments.
+	TrackPotential bool
+	// ReliableShares retransmits each share until delivered (bounded
+	// retries) and restores it to the sender if it never arrives, so no
+	// push-sum mass is ever destroyed — the paper's "repeated calls"
+	// remedy for lossy links. The Ave aggregate does not need this
+	// (losses cancel in its ratio), but the distinguished-root Sum and
+	// Count variants do: their denominator starts as a single unit of
+	// mass whose early loss would permanently skew the result.
+	ReliableShares bool
+}
+
+// AveResult is the outcome of Gossip-ave.
+type AveResult struct {
+	// Estimates holds each root's final Ave estimate s/g.
+	Estimates map[int]float64
+	// S and G are the final push-sum components per root.
+	S, G map[int]float64
+	// Trajectory is the estimate of TrackRoot after each round.
+	Trajectory []float64
+	// Potential is Φ_t after each round when TrackPotential is set.
+	Potential []float64
+	Stats     sim.Counters
+}
+
+// Ave runs Algorithm 6 (push-sum over roots with tree-relay): every root
+// starts with (s, g) = (local sum, tree size) from Convergecast-sum; each
+// round it keeps half and pushes half to a random node's root. The ratio
+// s/g at the largest-tree root converges to the global average at the
+// rate of Theorem 7.
+func Ave(eng *sim.Engine, f *forest.Forest, rootTo []int, init map[int]convergecast.SumCount, opts AveOptions) (*AveResult, error) {
+	if err := checkInputs(eng, f, rootTo); err != nil {
+		return nil, err
+	}
+	start := eng.Stats()
+	roots := f.Roots()
+	s := make(map[int]float64, len(roots))
+	g := make(map[int]float64, len(roots))
+	for _, r := range roots {
+		sc, ok := init[r]
+		if !ok {
+			return nil, fmt.Errorf("gossip: missing init vector for root %d", r)
+		}
+		s[r] = sc.Sum
+		g[r] = sc.Count
+	}
+	rounds := opts.Rounds
+	if rounds == 0 {
+		rounds = lossInflate(4*ceilLog2(eng.N())+24, eng)
+	}
+
+	// Optional contribution tracking for the Lemma 8 potential.
+	var (
+		rootIdx map[int]int
+		y       [][]float64 // y[i][j]: root i's contribution from root j
+		w       []float64   // dummy weights, w0 = 1
+	)
+	if opts.TrackPotential {
+		rootIdx = make(map[int]int, len(roots))
+		for k, r := range roots {
+			rootIdx[r] = k
+		}
+		m := len(roots)
+		y = make([][]float64, m)
+		for k := range y {
+			y[k] = make([]float64, m)
+			y[k][k] = 1
+		}
+		w = make([]float64, m)
+		for k := range w {
+			w[k] = 1
+		}
+	}
+	potential := func() float64 {
+		m := float64(len(roots))
+		phi := 0.0
+		for k := range y {
+			for j := range y[k] {
+				d := y[k][j] - w[k]/m
+				phi += d * d
+			}
+		}
+		return phi
+	}
+
+	var trajectory, potentials []float64
+	for t := 0; t < rounds; t++ {
+		// Halve and push. The half leaves the sender regardless of
+		// delivery (loss destroys mass, as in the analysis).
+		type shipment struct {
+			dst int
+			vec []float64 // snapshot of the shipped contribution share
+			w   float64
+		}
+		var shipped []shipment
+		for _, r := range roots {
+			relay, dst := relayTarget(eng, rootTo, r)
+			if !eng.Alive(relay) {
+				// The call to the relay is never established (the node
+				// crashed before the protocol started), so the sender
+				// detects the failure and retains its share; only the
+				// call attempt is paid for. Silent link loss below does
+				// destroy mass, as in the paper's (1-δ) analysis.
+				eng.Send(r, relay, sim.Payload{Kind: kindAveShare})
+				continue
+			}
+			s[r] /= 2
+			g[r] /= 2
+			pay := sim.Payload{Kind: kindAveShare, A: s[r], B: g[r], X: int64(r)}
+			before := eng.Stats().Drops
+			eng.SendVia(r, relay, dst, pay)
+			delivered := eng.Stats().Drops == before
+			if opts.ReliableShares {
+				for try := 0; try < 8 && !delivered; try++ {
+					before = eng.Stats().Drops
+					eng.SendVia(r, relay, dst, pay)
+					delivered = eng.Stats().Drops == before
+				}
+				if !delivered {
+					// Every retry failed: restore the share; no mass
+					// leaves the system.
+					s[r] *= 2
+					g[r] *= 2
+				}
+			}
+			if opts.TrackPotential {
+				// Mirror the halving in the contribution vectors and
+				// snapshot the shipped share before any delivery this
+				// round can mutate it. A reliably-restored share leaves
+				// the vectors untouched.
+				if !(opts.ReliableShares && !delivered) {
+					k := rootIdx[r]
+					for j := range y[k] {
+						y[k][j] /= 2
+					}
+					w[k] /= 2
+					if delivered && f.IsRoot(dst) {
+						shipped = append(shipped, shipment{
+							dst: rootIdx[dst],
+							vec: append([]float64(nil), y[k]...),
+							w:   w[k],
+						})
+					}
+				}
+			}
+		}
+		eng.Tick()
+		for _, r := range roots {
+			for _, m := range eng.Inbox(r) {
+				if m.Pay.Kind == kindAveShare {
+					s[r] += m.Pay.A
+					g[r] += m.Pay.B
+				}
+			}
+		}
+		if opts.TrackPotential {
+			for _, sh := range shipped {
+				for j := range y[sh.dst] {
+					y[sh.dst][j] += sh.vec[j]
+				}
+				w[sh.dst] += sh.w
+			}
+			potentials = append(potentials, potential())
+		}
+		if opts.TrackRoot >= 0 {
+			if gv := g[opts.TrackRoot]; gv != 0 {
+				trajectory = append(trajectory, s[opts.TrackRoot]/gv)
+			} else {
+				trajectory = append(trajectory, math.NaN())
+			}
+		}
+	}
+
+	est := make(map[int]float64, len(roots))
+	for _, r := range roots {
+		if g[r] != 0 {
+			est[r] = s[r] / g[r]
+		} else {
+			est[r] = math.NaN()
+		}
+	}
+	return &AveResult{
+		Estimates:  est,
+		S:          s,
+		G:          g,
+		Trajectory: trajectory,
+		Potential:  potentials,
+		Stats:      eng.Stats().Sub(start),
+	}, nil
+}

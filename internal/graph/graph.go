@@ -1,0 +1,509 @@
+// Package graph provides the sparse-topology substrate for Section 4 of
+// the paper (Local-DRR and gossip on arbitrary graphs): deterministic
+// generators for standard topologies, adjacency queries, and structural
+// invariants (connectivity, regularity, the harmonic degree sum of
+// Theorem 13).
+//
+// All graphs are simple (no self-loops, no parallel edges) and undirected,
+// with sorted neighbour lists for deterministic iteration.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"drrgossip/internal/xrand"
+)
+
+// Graph is an immutable simple undirected graph on vertices 0..n-1.
+type Graph struct {
+	name string
+	adj  [][]int
+	m    int // number of edges
+}
+
+// build validates adjacency lists and constructs a Graph.
+// Each list must be sorted, self-loop-free and duplicate-free, and the
+// relation must be symmetric.
+func build(name string, adj [][]int) (*Graph, error) {
+	n := len(adj)
+	m := 0
+	for u, ns := range adj {
+		prev := -1
+		for _, v := range ns {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("graph %s: vertex %d has out-of-range neighbour %d", name, u, v)
+			}
+			if v == u {
+				return nil, fmt.Errorf("graph %s: self-loop at %d", name, u)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("graph %s: neighbours of %d not strictly sorted", name, u)
+			}
+			prev = v
+			m++
+		}
+	}
+	if m%2 != 0 {
+		return nil, fmt.Errorf("graph %s: odd total degree", name)
+	}
+	g := &Graph{name: name, adj: adj, m: m / 2}
+	// Symmetry check.
+	for u, ns := range adj {
+		for _, v := range ns {
+			if !g.HasEdge(v, u) {
+				return nil, fmt.Errorf("graph %s: edge (%d,%d) not symmetric", name, u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// mustBuild is for generators whose construction is correct by design.
+func mustBuild(name string, adj [][]int) *Graph {
+	g, err := build(name, adj)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromAdjacency validates and wraps caller-provided adjacency lists
+// (which it sorts in place).
+func FromAdjacency(name string, adj [][]int) (*Graph, error) {
+	for _, ns := range adj {
+		sort.Ints(ns)
+	}
+	return build(name, adj)
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Name returns the generator name (for reports).
+func (g *Graph) Name() string { return g.name }
+
+// Neighbors returns vertex u's sorted neighbour list. The caller must not
+// modify it.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	ns := g.adj[u]
+	i := sort.SearchInts(ns, v)
+	return i < len(ns) && ns[i] == v
+}
+
+// MaxDegree returns the maximum degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, ns := range g.adj {
+		if len(ns) > d {
+			d = len(ns)
+		}
+	}
+	return d
+}
+
+// MinDegree returns the minimum degree (0 for the empty graph).
+func (g *Graph) MinDegree() int {
+	if g.N() == 0 {
+		return 0
+	}
+	d := len(g.adj[0])
+	for _, ns := range g.adj[1:] {
+		if len(ns) < d {
+			d = len(ns)
+		}
+	}
+	return d
+}
+
+// Regular reports whether all vertices share one degree, and that degree.
+func (g *Graph) Regular() (d int, ok bool) {
+	d = g.MaxDegree()
+	return d, d == g.MinDegree()
+}
+
+// HarmonicDegreeSum returns Σ_i 1/(d_i + 1), the expected number of
+// Local-DRR trees (Theorem 13).
+func (g *Graph) HarmonicDegreeSum() float64 {
+	s := 0.0
+	for _, ns := range g.adj {
+		s += 1 / float64(len(ns)+1)
+	}
+	return s
+}
+
+// BFS returns the hop distance from src to every vertex (-1 if
+// unreachable).
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns max_v dist(src, v); it panics if the graph is
+// disconnected from src.
+func (g *Graph) Eccentricity(src int) int {
+	e := 0
+	for _, d := range g.BFS(src) {
+		if d < 0 {
+			panic("graph: Eccentricity on disconnected graph")
+		}
+		if d > e {
+			e = d
+		}
+	}
+	return e
+}
+
+// Ring returns the n-cycle (n >= 3).
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("graph: Ring needs n >= 3")
+	}
+	adj := make([][]int, n)
+	for i := range adj {
+		a, b := (i+n-1)%n, (i+1)%n
+		if a > b {
+			a, b = b, a
+		}
+		adj[i] = []int{a, b}
+	}
+	return mustBuild(fmt.Sprintf("ring(%d)", n), adj)
+}
+
+// Complete returns the complete graph K_n (n >= 2).
+func Complete(n int) *Graph {
+	if n < 2 {
+		panic("graph: Complete needs n >= 2")
+	}
+	adj := make([][]int, n)
+	for i := range adj {
+		ns := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				ns = append(ns, j)
+			}
+		}
+		adj[i] = ns
+	}
+	return mustBuild(fmt.Sprintf("complete(%d)", n), adj)
+}
+
+// Star returns the star graph: vertex 0 is the hub (n >= 2).
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("graph: Star needs n >= 2")
+	}
+	adj := make([][]int, n)
+	hub := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		hub = append(hub, i)
+		adj[i] = []int{0}
+	}
+	adj[0] = hub
+	return mustBuild(fmt.Sprintf("star(%d)", n), adj)
+}
+
+// Torus returns the rows x cols wraparound grid (4-regular when both
+// dimensions are >= 3).
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("graph: Torus needs rows, cols >= 3")
+	}
+	n := rows * cols
+	id := func(r, c int) int { return ((r+rows)%rows)*cols + (c+cols)%cols }
+	adj := make([][]int, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := id(r, c)
+			set := map[int]bool{
+				id(r-1, c): true, id(r+1, c): true,
+				id(r, c-1): true, id(r, c+1): true,
+			}
+			ns := make([]int, 0, 4)
+			for v := range set {
+				if v != u {
+					ns = append(ns, v)
+				}
+			}
+			sort.Ints(ns)
+			adj[u] = ns
+		}
+	}
+	return mustBuild(fmt.Sprintf("torus(%dx%d)", rows, cols), adj)
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim vertices
+// (1 <= dim <= 30).
+func Hypercube(dim int) *Graph {
+	if dim < 1 || dim > 30 {
+		panic("graph: Hypercube dimension out of range")
+	}
+	n := 1 << dim
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		ns := make([]int, dim)
+		for b := 0; b < dim; b++ {
+			ns[b] = u ^ (1 << b)
+		}
+		sort.Ints(ns)
+		adj[u] = ns
+	}
+	return mustBuild(fmt.Sprintf("hypercube(%d)", dim), adj)
+}
+
+// ErrRegularFailed is returned when the d-regular sampler cannot repair
+// its matching within the attempt budget.
+var ErrRegularFailed = errors.New("graph: random regular construction failed; try another seed")
+
+// RandomRegular samples a simple d-regular graph on n vertices via the
+// configuration model with edge-switching repair of self-loops and
+// parallel edges. Requires 0 < d < n and n*d even.
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	if d <= 0 || d >= n {
+		return nil, fmt.Errorf("graph: RandomRegular needs 0 < d < n, got n=%d d=%d", n, d)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular needs n*d even, got n=%d d=%d", n, d)
+	}
+	rng := xrand.Derive(seed, 0x9e9, uint64(n), uint64(d))
+
+	// Stub pairing.
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, v)
+		}
+	}
+	type edge struct{ u, v int }
+	norm := func(u, v int) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	edges := make([]edge, 0, n*d/2)
+	seen := make(map[edge]bool, n*d/2)
+	var bad []int // indices into edges of invalid pairs
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i < len(stubs); i += 2 {
+		e := norm(stubs[i], stubs[i+1])
+		edges = append(edges, e)
+		if e.u == e.v || seen[e] {
+			bad = append(bad, len(edges)-1)
+		} else {
+			seen[e] = true
+		}
+	}
+
+	// Repair bad pairs by 2-opt switches with random good edges.
+	budget := 200*len(bad) + 10000
+	for len(bad) > 0 && budget > 0 {
+		budget--
+		bi := bad[len(bad)-1]
+		b := edges[bi]
+		oi := rng.Intn(len(edges))
+		o := edges[oi]
+		if oi == bi {
+			continue
+		}
+		// Propose rewiring (b.u,b.v),(o.u,o.v) -> (b.u,o.u),(b.v,o.v).
+		e1 := norm(b.u, o.u)
+		e2 := norm(b.v, o.v)
+		if e1.u == e1.v || e2.u == e2.v || seen[e1] || seen[e2] || e1 == e2 {
+			continue
+		}
+		// o must currently be a good (registered) edge.
+		if !seen[o] {
+			continue
+		}
+		delete(seen, o)
+		if b.u != b.v && seen[b] {
+			delete(seen, b)
+		}
+		seen[e1] = true
+		seen[e2] = true
+		edges[bi] = e1
+		edges[oi] = e2
+		bad = bad[:len(bad)-1]
+	}
+	if len(bad) > 0 {
+		return nil, ErrRegularFailed
+	}
+
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.u] = append(adj[e.u], e.v)
+		adj[e.v] = append(adj[e.v], e.u)
+	}
+	for _, ns := range adj {
+		sort.Ints(ns)
+	}
+	return build(fmt.Sprintf("regular(%d,d=%d)", n, d), adj)
+}
+
+// MustRandomRegular retries RandomRegular over derived seeds until it
+// produces a connected graph; it panics only if every attempt fails
+// (practically impossible for d >= 3).
+func MustRandomRegular(n, d int, seed uint64) *Graph {
+	for try := uint64(0); try < 64; try++ {
+		g, err := RandomRegular(n, d, seed+try)
+		if err == nil && g.Connected() {
+			return g
+		}
+	}
+	panic("graph: MustRandomRegular exhausted retries")
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: starting from a
+// (m+1)-clique, each new vertex attaches to m distinct existing vertices
+// chosen with probability proportional to their degree. The heavy-tailed
+// degree distribution stresses the degree-dependent results (Theorem 13's
+// Σ 1/(d_i+1), Local-DRR heights) beyond the regular topologies.
+// Requires n > m >= 1.
+func BarabasiAlbert(n, m int, seed uint64) *Graph {
+	if m < 1 || n <= m+1 {
+		panic("graph: BarabasiAlbert needs n > m+1 and m >= 1")
+	}
+	rng := xrand.Derive(seed, 0xBA, uint64(n), uint64(m))
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	// Repeated-endpoint list: sampling an index uniformly samples a vertex
+	// with probability proportional to its degree.
+	var endpoints []int
+	addEdge := func(u, v int) {
+		adj[u][v] = true
+		adj[v][u] = true
+		endpoints = append(endpoints, u, v)
+	}
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			addEdge(u, v)
+		}
+	}
+	for u := m + 1; u < n; u++ {
+		chosen := make(map[int]bool, m)
+		targets := make([]int, 0, m)
+		for len(targets) < m {
+			v := endpoints[rng.Intn(len(endpoints))]
+			if v != u && !chosen[v] {
+				chosen[v] = true
+				targets = append(targets, v)
+			}
+		}
+		// Deterministic edge insertion order: the endpoint list feeds
+		// later sampling, so it must not depend on map iteration.
+		sort.Ints(targets)
+		for _, v := range targets {
+			addEdge(u, v)
+		}
+	}
+	lists := make([][]int, n)
+	for u, set := range adj {
+		lst := make([]int, 0, len(set))
+		for v := range set {
+			lst = append(lst, v)
+		}
+		sort.Ints(lst)
+		lists[u] = lst
+	}
+	return mustBuild(fmt.Sprintf("ba(%d,m=%d)", n, m), lists)
+}
+
+// ErdosRenyi samples G(n, p) using geometric edge skipping, which runs in
+// O(n + |E|) expected time.
+func ErdosRenyi(n int, p float64, seed uint64) *Graph {
+	if n < 1 {
+		panic("graph: ErdosRenyi needs n >= 1")
+	}
+	if p < 0 || p > 1 {
+		panic("graph: ErdosRenyi needs p in [0,1]")
+	}
+	rng := xrand.Derive(seed, 0xe12, uint64(n))
+	adj := make([][]int, n)
+	if p > 0 {
+		logq := math.Log1p(-p) // log(1-p), p<1
+		// addEdge maps a linear index over the strict upper triangle (in
+		// row-major order) to a pair (u,v), u<v. Indices arrive in
+		// increasing order, so the row cursor advances monotonically and
+		// the mapping is amortized O(1).
+		curU, consumed := 0, int64(0)
+		addEdge := func(idx int64) {
+			for idx-consumed >= int64(n-1-curU) {
+				consumed += int64(n - 1 - curU)
+				curU++
+			}
+			u := curU
+			v := u + 1 + int(idx-consumed)
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+		total := int64(n) * int64(n-1) / 2
+		if p >= 1 {
+			for i := int64(0); i < total; i++ {
+				addEdge(i)
+			}
+		} else {
+			i := int64(-1)
+			for {
+				u := rng.Float64()
+				skip := int64(1)
+				if u > 0 {
+					skip = 1 + int64(math.Floor(math.Log(u)/logq))
+				}
+				if skip < 1 {
+					skip = 1
+				}
+				i += skip
+				if i >= total {
+					break
+				}
+				addEdge(i)
+			}
+		}
+	}
+	for _, ns := range adj {
+		sort.Ints(ns)
+	}
+	return mustBuild(fmt.Sprintf("gnp(%d,p=%.4g)", n, p), adj)
+}

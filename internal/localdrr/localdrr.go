@@ -1,0 +1,167 @@
+// Package localdrr implements the Local-DRR algorithm of Section 4: the
+// DRR variant for sparse networks where a node exchanges rank information
+// only with its immediate neighbours (and may message all of them in one
+// round, the standard message-passing assumption).
+//
+// Every node picks a rank uniformly at random from [0,1] and connects to
+// its highest-ranked neighbour; a node whose rank beats all its
+// neighbours' becomes a root. Edges point up in rank, so the result is a
+// forest whose trees have height O(log n) whp on any graph (Theorem 11)
+// and whose expected tree count is Σ_i 1/(d_i + 1) (Theorem 13). Phase I
+// costs O(1) rounds and O(|E|) messages.
+//
+// Under message loss a node simply ranks the neighbours it heard from
+// (unheard neighbours are treated as absent); since every edge still goes
+// to a strictly higher rank, the forest stays acyclic — loss only shifts
+// the tree boundaries. Rank exchange may be repeated a few rounds to
+// shrink the unheard set.
+package localdrr
+
+import (
+	"fmt"
+	"math"
+
+	"drrgossip/internal/forest"
+	"drrgossip/internal/graph"
+	"drrgossip/internal/sim"
+)
+
+// Options tune Local-DRR. The zero value reproduces the paper.
+type Options struct {
+	// RankExchangeRounds repeats the neighbour rank broadcast to mask
+	// loss. 0 means 1 round when the engine is lossless, 4 otherwise.
+	RankExchangeRounds int
+	// ConnectRetries bounds connection retransmissions (0 means 8).
+	ConnectRetries int
+}
+
+// Result is the outcome of Local-DRR.
+type Result struct {
+	Forest *forest.Forest
+	Ranks  []float64
+	Stats  sim.Counters
+	// Orphans counts nodes whose connection message was never
+	// acknowledged; they fall back to roots.
+	Orphans int
+}
+
+const kindRank uint8 = 0x11
+const kindConnect uint8 = 0x12
+
+// Run executes Local-DRR on the engine over graph g (g.N() == eng.N()).
+func Run(eng *sim.Engine, g *graph.Graph, opts Options) (*Result, error) {
+	n := eng.N()
+	if g.N() != n {
+		return nil, fmt.Errorf("localdrr: graph has %d nodes, engine %d", g.N(), n)
+	}
+	exchanges := opts.RankExchangeRounds
+	if exchanges == 0 {
+		if eng.Loss() == 0 {
+			exchanges = 1
+		} else {
+			exchanges = 4
+		}
+	}
+	retries := opts.ConnectRetries
+	if retries == 0 {
+		retries = 8
+	}
+	start := eng.Stats()
+
+	ranks := make([]float64, n)
+	sim.ParallelFor(n, func(i int) {
+		if eng.Alive(i) {
+			ranks[i] = eng.RNG(i).Float64()
+		} else {
+			ranks[i] = math.NaN()
+		}
+	})
+
+	// Rank exchange: every node sends its rank to all neighbours (the
+	// sparse model allows simultaneous neighbour messages in one round).
+	best := make([]int, n) // highest-ranked neighbour heard from, -1 none
+	bestRank := make([]float64, n)
+	for i := range best {
+		best[i] = -1
+		bestRank[i] = math.Inf(-1)
+	}
+	for r := 0; r < exchanges; r++ {
+		for i := 0; i < n; i++ {
+			if !eng.Alive(i) {
+				continue
+			}
+			for _, nb := range g.Neighbors(i) {
+				eng.Send(i, nb, sim.Payload{Kind: kindRank, A: ranks[i], X: int64(i)})
+			}
+		}
+		eng.Tick()
+		sim.ParallelFor(n, func(i int) {
+			if !eng.Alive(i) {
+				return
+			}
+			for _, m := range eng.Inbox(i) {
+				if m.Pay.Kind == kindRank && m.Pay.A > bestRank[i] {
+					bestRank[i] = m.Pay.A
+					best[i] = int(m.Pay.X)
+				}
+			}
+		})
+	}
+
+	// Local decision: connect to the highest-ranked neighbour if it
+	// outranks us, else become a root.
+	parent := make([]int, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case !eng.Alive(i):
+			parent[i] = forest.NotMember
+		case best[i] >= 0 && bestRank[i] > ranks[i]:
+			parent[i] = best[i]
+		default:
+			parent[i] = forest.Root
+		}
+	}
+
+	// Connection handshake with ack/retransmit, as in global DRR.
+	acked := make([]bool, n)
+	calls := make([]sim.Call, n)
+	orphans := 0
+	for attempt := 0; attempt < retries; attempt++ {
+		eng.Tick()
+		active := false
+		for i := 0; i < n; i++ {
+			calls[i] = sim.Call{}
+			if !eng.Alive(i) || parent[i] < 0 || acked[i] {
+				continue
+			}
+			active = true
+			calls[i] = sim.Call{Active: true, To: parent[i], Pay: sim.Payload{Kind: kindConnect, X: int64(i)}}
+		}
+		if !active {
+			break
+		}
+		eng.ResolveCalls(calls,
+			func(callee, caller int, req sim.Payload) (sim.Payload, bool) {
+				return sim.Payload{Kind: kindConnect}, true
+			},
+			func(caller int, resp sim.Payload) {
+				acked[caller] = true
+			})
+	}
+	for i := 0; i < n; i++ {
+		if parent[i] >= 0 && !acked[i] {
+			parent[i] = forest.Root
+			orphans++
+		}
+	}
+	f, err := forest.FromParents(parent)
+	if err != nil {
+		return nil, fmt.Errorf("localdrr: invalid forest: %w", err)
+	}
+	return &Result{
+		Forest:  f,
+		Ranks:   ranks,
+		Stats:   eng.Stats().Sub(start),
+		Orphans: orphans,
+	}, nil
+}

@@ -1,0 +1,69 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecayCurve(t *testing.T) {
+	c := New("rel err", true)
+	c.Add("err", []float64{1, 0.1, 0.01, 0.001, 0.0001})
+	out := c.String()
+	if !strings.Contains(out, "log scale") {
+		t.Fatalf("missing scale marker:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Monotone decay: the glyph's row index must increase along x.
+	prevRow := -1
+	for x := 0; x < 64; x++ {
+		for r := 1; r <= 16; r++ {
+			if len(lines[r]) > x+1 && lines[r][x+1] == '*' {
+				if r < prevRow {
+					t.Fatalf("curve not rendered monotone at col %d:\n%s", x, out)
+				}
+				prevRow = r
+			}
+		}
+	}
+}
+
+func TestMultiSeriesLegend(t *testing.T) {
+	c := New("msgs", false)
+	c.Add("drr", []float64{1, 2, 3})
+	c.Add("kempe", []float64{2, 4, 8})
+	out := c.String()
+	if !strings.Contains(out, "*=drr") || !strings.Contains(out, "a=kempe") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	c := New("y", false)
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	c.Add("nonpositive", []float64{-1, 0})
+	c.LogY = true
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("all-skipped log chart should say so")
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	c := New("y", false)
+	c.Add("flat", []float64{5, 5, 5})
+	out := c.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not rendered:\n%s", out)
+	}
+}
+
+func TestDimensionClamping(t *testing.T) {
+	c := New("y", false)
+	c.Width, c.Height = 1, 1
+	c.Add("x", []float64{1, 2})
+	out := c.String()
+	if len(out) == 0 {
+		t.Fatal("clamped chart empty")
+	}
+}

@@ -1,0 +1,355 @@
+// Package sim implements the synchronous network model of the paper
+// (Section 2): n nodes with unique addresses communicate in discrete
+// rounds under the random phone call model. In one round a node may place
+// one call (an in-round, bidirectional exchange) or send bounded-size
+// messages; links are lossy (each transmission independently fails with
+// probability δ); a fraction of nodes may crash before the protocol starts
+// but not during it.
+//
+// The engine does bookkeeping only — protocols (DRR, convergecast, gossip,
+// and the baselines) live in their own packages and drive the engine round
+// by round. Every transmission attempt, including relay hops, acks and
+// retransmissions, is counted as one message, which is the quantity the
+// paper's message-complexity results bound.
+//
+// Determinism: runs are reproducible from Options.Seed alone. Per-node
+// random streams are derived from (seed, node) so that goroutine-parallel
+// stepping (see ParallelFor) cannot perturb results, and per-message loss
+// is a stateless hash of (seed, message sequence number), with sequence
+// numbers assigned in deterministic node order.
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"drrgossip/internal/xrand"
+)
+
+// Payload is the fixed-size message body. The paper limits message length
+// to O(log n + log s); using a fixed small struct enforces that protocols
+// cannot smuggle unbounded state (the lower-bound harness in
+// internal/oblivious deliberately models the unbounded regime and does not
+// use this package's messages).
+type Payload struct {
+	Kind    uint8   // protocol-defined discriminator
+	A, B, C float64 // numeric fields (value, weight, second moment, …)
+	X, Y    int64   // integer fields (ids, counts, …)
+}
+
+// Message is a payload in flight or delivered.
+type Message struct {
+	From, To int
+	Pay      Payload
+}
+
+// Call describes the single call a node may place in a round.
+type Call struct {
+	Active bool
+	To     int
+	Pay    Payload
+}
+
+// Options configure an Engine.
+type Options struct {
+	Seed      uint64  // master seed; equal seeds give identical runs
+	Loss      float64 // per-message drop probability δ ∈ [0,1)
+	CrashFrac float64 // fraction of nodes crashed before the protocol starts
+}
+
+// Counters aggregates the engine's accounting.
+type Counters struct {
+	Rounds   int   // rounds elapsed (Tick calls)
+	Messages int64 // transmission attempts (lossy or not)
+	Drops    int64 // attempts lost to link failure
+	Calls    int64 // calls placed (each call costs >=1 message)
+}
+
+// Sub returns c - prev, useful for per-phase accounting.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Rounds:   c.Rounds - prev.Rounds,
+		Messages: c.Messages - prev.Messages,
+		Drops:    c.Drops - prev.Drops,
+		Calls:    c.Calls - prev.Calls,
+	}
+}
+
+const (
+	hashDomainLoss  = 0x10 // per-message loss decisions
+	hashDomainCrash = 0x20 // initial crash selection
+	rngDomainNode   = 0x30 // per-node protocol streams
+)
+
+// Engine is the synchronous round simulator. It is not safe for concurrent
+// use; within a round, protocols may parallelize their pure per-node
+// computation with ParallelFor and then perform all Engine calls
+// sequentially in node order.
+type Engine struct {
+	n     int
+	opts  Options
+	c     Counters
+	alive []bool
+	nAliv int
+
+	inbox   [][]Message       // per-node messages delivered at the last Tick
+	pending map[int][]Message // absolute round -> messages to deliver
+	seq     uint64            // message sequence for loss hashing
+	rngs    []*xrand.Stream   // lazily built per-node streams
+}
+
+// NewEngine creates an engine for n nodes. n must be at least 1.
+func NewEngine(n int, opts Options) *Engine {
+	if n < 1 {
+		panic("sim: need at least one node")
+	}
+	if opts.Loss < 0 || opts.Loss >= 1 {
+		panic("sim: Loss must be in [0,1)")
+	}
+	e := &Engine{
+		n:       n,
+		opts:    opts,
+		alive:   make([]bool, n),
+		inbox:   make([][]Message, n),
+		pending: make(map[int][]Message),
+		rngs:    make([]*xrand.Stream, n),
+	}
+	for i := 0; i < n; i++ {
+		// Node i crashes initially with probability CrashFrac,
+		// decided statelessly so the crash set is seed-stable.
+		dead := opts.CrashFrac > 0 &&
+			xrand.HashFloat(opts.Seed, hashDomainCrash, uint64(i)) < opts.CrashFrac
+		e.alive[i] = !dead
+		if !dead {
+			e.nAliv++
+		}
+	}
+	if e.nAliv == 0 {
+		// Keep at least one node alive so protocols are well defined.
+		e.alive[0] = true
+		e.nAliv = 1
+	}
+	return e
+}
+
+// N returns the number of nodes (alive or crashed).
+func (e *Engine) N() int { return e.n }
+
+// NumAlive returns the number of non-crashed nodes.
+func (e *Engine) NumAlive() int { return e.nAliv }
+
+// Alive reports whether node i did not crash initially.
+func (e *Engine) Alive(i int) bool { return e.alive[i] }
+
+// AliveIDs returns the ids of non-crashed nodes in increasing order.
+func (e *Engine) AliveIDs() []int {
+	ids := make([]int, 0, e.nAliv)
+	for i, a := range e.alive {
+		if a {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// RNG returns node i's private random stream. Streams are independent
+// across nodes, so parallel per-node stepping is deterministic.
+func (e *Engine) RNG(i int) *xrand.Stream {
+	if e.rngs[i] == nil {
+		e.rngs[i] = xrand.Derive(e.opts.Seed, rngDomainNode, uint64(i))
+	}
+	return e.rngs[i]
+}
+
+// Seed returns the engine's master seed.
+func (e *Engine) Seed() uint64 { return e.opts.Seed }
+
+// Loss returns the configured per-message drop probability δ.
+func (e *Engine) Loss() float64 { return e.opts.Loss }
+
+// Stats returns a snapshot of the accounting counters.
+func (e *Engine) Stats() Counters { return e.c }
+
+// Round returns the current round number (0 before the first Tick).
+func (e *Engine) Round() int { return e.c.Rounds }
+
+// attempt accounts one transmission and reports whether it survived link
+// loss and the destination is alive. A message to a crashed node is
+// counted (it was sent) but never delivered.
+func (e *Engine) attempt(to int) bool {
+	e.seq++
+	e.c.Messages++
+	if e.opts.Loss > 0 &&
+		xrand.HashFloat(e.opts.Seed, hashDomainLoss, e.seq) < e.opts.Loss {
+		e.c.Drops++
+		return false
+	}
+	return e.alive[to]
+}
+
+// Charge accounts k extra message transmissions without delivering
+// anything. Protocols use it for control traffic they simulate outside
+// the payload plane (e.g. the rejected routing attempts of the Chord
+// random-node sampler, whose cost Theorem 14's M budget must include).
+func (e *Engine) Charge(k int64) {
+	if k < 0 {
+		panic("sim: negative Charge")
+	}
+	e.c.Messages += k
+}
+
+// Tick advances to the next round: messages sent previously (and routed
+// messages whose hop count has elapsed) become visible in the recipients'
+// inboxes.
+func (e *Engine) Tick() {
+	e.c.Rounds++
+	for i := range e.inbox {
+		e.inbox[i] = e.inbox[i][:0]
+	}
+	if msgs, ok := e.pending[e.c.Rounds]; ok {
+		for _, m := range msgs {
+			e.inbox[m.To] = append(e.inbox[m.To], m)
+		}
+		delete(e.pending, e.c.Rounds)
+	}
+}
+
+// Inbox returns the messages delivered to node i at the last Tick. The
+// returned slice is valid until the next Tick.
+func (e *Engine) Inbox(i int) []Message { return e.inbox[i] }
+
+// PendingEmpty reports whether any message is still in flight.
+func (e *Engine) PendingEmpty() bool { return len(e.pending) == 0 }
+
+// scheduleAt enqueues a delivery for the given absolute round.
+func (e *Engine) scheduleAt(round int, m Message) {
+	e.pending[round] = append(e.pending[round], m)
+}
+
+// Send transmits one message from -> to; if it survives, it is delivered
+// at the next Tick. Cost: 1 message.
+func (e *Engine) Send(from, to int, p Payload) {
+	if !e.alive[from] {
+		return
+	}
+	if e.attempt(to) {
+		e.scheduleAt(e.c.Rounds+1, Message{From: from, To: to, Pay: p})
+	}
+}
+
+// SendVia transmits from -> relay -> dst within one round step, modeling
+// Phase III's non-address-oblivious relay: a root sends to a random node,
+// which forwards the message to dst (its own root) in the same round
+// ("to traverse through an edge of G̃, a message needs at most two hops of
+// G"). Cost: 2 messages (1 if the first hop is lost); delivery at the next
+// Tick. When relay == dst the message needs a single hop.
+func (e *Engine) SendVia(from, relay, dst int, p Payload) {
+	if !e.alive[from] {
+		return
+	}
+	if relay == dst {
+		e.Send(from, dst, p)
+		return
+	}
+	if !e.attempt(relay) {
+		return
+	}
+	if e.attempt(dst) {
+		e.scheduleAt(e.c.Rounds+1, Message{From: from, To: dst, Pay: p})
+	}
+}
+
+// SendRouted transmits along an explicit hop path (excluding the sender):
+// one hop per round, one message per hop, each hop independently lossy.
+// The payload reaches the final path element after len(path) rounds. Used
+// for sparse overlays (Chord) where a "gossip edge" is a routed path.
+func (e *Engine) SendRouted(from int, path []int, p Payload) {
+	if !e.alive[from] || len(path) == 0 {
+		return
+	}
+	for _, hop := range path {
+		if !e.attempt(hop) {
+			return
+		}
+	}
+	e.scheduleAt(e.c.Rounds+len(path), Message{From: from, To: path[len(path)-1], Pay: p})
+}
+
+// ResolveCalls performs one synchronous call round. calls[i] describes the
+// call node i places (Active=false for none). For every call whose request
+// survives, handle is invoked on the callee and may return a response,
+// which (if it survives the return leg) is passed to onReply on the caller
+// — all within the current round, matching the paper's "once a call is
+// established, information can be exchanged in both directions".
+//
+// Callers are processed in increasing node order, so handlers observing
+// state mutated by earlier calls in the same round see a deterministic
+// order. Cost: 1 message per placed call, +1 per non-nil response.
+func (e *Engine) ResolveCalls(
+	calls []Call,
+	handle func(callee, caller int, req Payload) (Payload, bool),
+	onReply func(caller int, resp Payload),
+) {
+	if len(calls) != e.n {
+		panic("sim: ResolveCalls needs one Call slot per node")
+	}
+	for from := 0; from < e.n; from++ {
+		c := calls[from]
+		if !c.Active || !e.alive[from] {
+			continue
+		}
+		e.c.Calls++
+		if !e.attempt(c.To) {
+			continue // request lost or callee dead
+		}
+		resp, ok := handle(c.To, from, c.Pay)
+		if !ok {
+			continue
+		}
+		if e.attempt(from) && onReply != nil {
+			onReply(from, resp)
+		}
+	}
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) using up to GOMAXPROCS
+// goroutines. fn must be safe to run concurrently for distinct i (the
+// protocols satisfy this by only touching node-local state and per-node
+// RNG streams). It is the bulk-synchronous building block for per-round
+// node stepping.
+func ParallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 256 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	const chunk = 128
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(chunk)) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

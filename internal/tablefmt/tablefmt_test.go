@@ -1,0 +1,68 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	tb := New("demo", "n", "rounds", "msgs")
+	tb.AddRow(1024, 17, 40960)
+	tb.AddRow(2048, 19, 90112)
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "n", "rounds", "msgs", "1024", "90112"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow(3.0, 0.12345, 0.0000123)
+	out := tb.String()
+	for _, want := range []string{"3", "0.123", "1.23e-05"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	tb := New("", "name", "value")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer-name", 2)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// All data lines must start their second column at the same offset.
+	idx := strings.Index(lines[0], "value")
+	if idx < 0 {
+		t.Fatalf("no header:\n%s", out)
+	}
+	for _, ln := range lines[2:] {
+		if len(ln) <= idx {
+			t.Fatalf("row too short for alignment: %q", ln)
+		}
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("t", "x")
+	tb.AddRow(1)
+	tb.AddNote("shape fit: %s", "n log n")
+	if !strings.Contains(tb.String(), "note: shape fit: n log n") {
+		t.Fatalf("missing note:\n%s", tb.String())
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "x")
+	tb.AddRow(5)
+	if strings.Contains(tb.String(), "==") {
+		t.Fatal("unexpected title marker")
+	}
+}

@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test test-short vet fmt fmt-check bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+ci: build vet fmt-check test

@@ -9,6 +9,8 @@
 //	go run ./cmd/benchtab -experiment T1,F11       # a subset
 //	go run ./cmd/benchtab -list                    # what exists
 //	go run ./cmd/benchtab -experiment all -quick   # CI-sized sweep
+//	go run ./cmd/benchtab -topology all            # overlay cost columns
+//	go run ./cmd/benchtab -topology chord,torus,regular:6
 package main
 
 import (
@@ -23,17 +25,42 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		quick   = flag.Bool("quick", false, "smaller sweeps (CI-sized)")
-		seed    = flag.Uint64("seed", 1, "master random seed")
-		trials  = flag.Int("trials", 0, "override trials per configuration (0 = default)")
+		expFlag  = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
+		topoFlag = flag.String("topology", "", "run the overlay cost table over these comma-separated topology specs (or 'all') instead of the experiment registry")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "smaller sweeps (CI-sized)")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		trials   = flag.Int("trials", 0, "override trials per configuration (0 = default)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *topoFlag != "" {
+		cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials}
+		var specs []string
+		if strings.EqualFold(*topoFlag, "all") {
+			specs = experiments.DefaultOverlaySpecs()
+		} else {
+			for _, s := range strings.Split(*topoFlag, ",") {
+				specs = append(specs, strings.TrimSpace(s))
+			}
+		}
+		start := time.Now()
+		rep, err := experiments.RunOverlays(cfg, specs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: overlay sweep failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(OV1 completed in %v)\n", time.Since(start).Round(time.Millisecond))
+		if !rep.Passed() {
+			os.Exit(1)
 		}
 		return
 	}

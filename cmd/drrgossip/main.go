@@ -7,6 +7,8 @@
 //	go run ./cmd/drrgossip -n 10000 -agg average
 //	go run ./cmd/drrgossip -n 4096 -agg max -loss 0.1 -crash 0.2
 //	go run ./cmd/drrgossip -n 1024 -agg average -topology chord
+//	go run ./cmd/drrgossip -n 1024 -agg sum -topology torus
+//	go run ./cmd/drrgossip -n 1024 -agg max -topology regular:6
 //	go run ./cmd/drrgossip -n 4096 -agg rank -arg 500
 //	go run ./cmd/drrgossip -n 4096 -agg quantile -arg 0.99
 package main
@@ -30,22 +32,20 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		loss     = flag.Float64("loss", 0, "per-message loss probability δ")
 		crash    = flag.Float64("crash", 0, "initial crash fraction")
-		topology = flag.String("topology", "complete", "complete|chord")
-		lo       = flag.Float64("lo", 0, "value range low")
-		hi       = flag.Float64("hi", 1000, "value range high")
+		topology = flag.String("topology", "complete",
+			"topology spec: "+strings.Join(drrgossip.TopologyNames(), "|")+" (param via name:param, e.g. regular:6)")
+		lo = flag.Float64("lo", 0, "value range low")
+		hi = flag.Float64("hi", 1000, "value range high")
 	)
 	flag.Parse()
 
 	cfg := drrgossip.Config{N: *n, Seed: *seed, Loss: *loss, CrashFraction: *crash}
-	switch strings.ToLower(*topology) {
-	case "complete":
-		cfg.Topology = drrgossip.Complete
-	case "chord":
-		cfg.Topology = drrgossip.Chord
-	default:
-		fmt.Fprintf(os.Stderr, "drrgossip: unknown topology %q\n", *topology)
+	topo, err := drrgossip.ParseTopology(*topology)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drrgossip: %v\n", err)
 		os.Exit(2)
 	}
+	cfg.Topology = topo
 	values := agg.GenUniform(*n, *lo, *hi, *seed)
 
 	if strings.ToLower(*aggName) == "quantile" {
@@ -57,7 +57,6 @@ func main() {
 	}
 
 	var res *drrgossip.Result
-	var err error
 	var exact float64
 	switch strings.ToLower(*aggName) {
 	case "min":

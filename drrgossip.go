@@ -14,35 +14,121 @@
 //	res, err := drrgossip.Average(drrgossip.Config{N: 10000, Seed: 1}, values)
 //	// res.Value ≈ mean(values); res.Rounds = Θ(log n); res.Messages = Θ(n loglog n)
 //
-// Baselines from the paper's Table 1 (uniform gossip of Kempe et al.,
-// efficient gossip of Kashyap et al.), the sparse-network variant on a
-// Chord overlay (Section 4), and the address-oblivious lower-bound
-// harness (Section 5) live under internal/ and are exercised by the
-// benchmark harness (cmd/benchtab) and the bench suite (bench_test.go).
+// # Topologies
+//
+// Config.Topology selects the communication substrate from an overlay
+// registry (internal/overlay) rather than a fixed enum. Complete (the
+// zero value) is the paper's random phone call model; every other
+// topology runs the Section 4 sparse pipeline — Local-DRR over the
+// overlay's links, routed gossip between tree roots, dissemination down
+// the trees (Theorems 13-14):
+//
+//	Complete         any node can call any other (dense baseline)
+//	Chord            DHT ring with finger routing and rejection sampling
+//	Torus            most-square rows×cols wraparound grid
+//	Hypercube        log2(n)-dimensional cube (n must be a power of two)
+//	RandomRegular(d) random d-regular graph (default d = 4)
+//	SmallWorld       Newman–Watts ring lattice with shortcuts
+//	Ring             the n-cycle (pedagogical worst case)
+//	ScaleFree        Barabási–Albert preferential attachment
+//
+// Non-Chord overlays route through a landmark BFS tree; adding a new
+// topology is one overlay.Register call plus a graph generator. Use
+// ParseTopology for textual specs ("torus", "regular:6") and
+// TopologyNames for the catalog. Baselines from the paper's Table 1
+// (uniform gossip of Kempe et al., efficient gossip of Kashyap et al.)
+// and the address-oblivious lower-bound harness (Section 5) live under
+// internal/ and are exercised by the benchmark harness (cmd/benchtab)
+// and the bench suite (bench_test.go).
 package drrgossip
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"drrgossip/internal/agg"
 	"drrgossip/internal/chord"
 	core "drrgossip/internal/drrgossip"
+	"drrgossip/internal/overlay"
 	"drrgossip/internal/sim"
 )
 
-// Topology selects the communication substrate.
-type Topology int
+// Topology selects the communication substrate. The zero value is
+// Complete (the paper's random phone call model); every other topology
+// names an overlay family in the registry and runs the Section 4 sparse
+// pipeline. Topology values are comparable: cfg.Topology == Chord works.
+type Topology struct {
+	name  string
+	param int
+}
 
-const (
+// Predefined topologies. RandomRegular and SmallWorldK parameterise
+// their families explicitly.
+var (
 	// Complete is the paper's main model: any node can call any other
 	// (random phone call model).
-	Complete Topology = iota
+	Complete = Topology{}
 	// Chord runs the Section 4 sparse-network variant on a Chord overlay:
 	// Local-DRR over finger links and routed gossip between tree roots.
-	Chord
+	Chord = Topology{name: "chord"}
+	// Torus is the most-square rows×cols wraparound grid on N nodes
+	// (N must factor with both sides >= 3).
+	Torus = Topology{name: "torus"}
+	// Hypercube is the log2(N)-dimensional cube (N must be a power of 2).
+	Hypercube = Topology{name: "hypercube"}
+	// SmallWorld is a Newman–Watts small world (ring lattice plus random
+	// shortcuts) with the default lattice half-width k = 2.
+	SmallWorld = Topology{name: "smallworld"}
+	// Ring is the n-cycle — the sparse pipeline's pedagogical worst case
+	// (O(n) routes, ~n/3 trees).
+	Ring = Topology{name: "ring"}
+	// ScaleFree is a Barabási–Albert preferential-attachment graph with
+	// the default attachment count m = 3.
+	ScaleFree = Topology{name: "scalefree"}
 )
+
+// RandomRegular selects a random d-regular overlay (3 <= d < N, N*d
+// even). RandomRegular(0) uses the registry default d = 4.
+func RandomRegular(d int) Topology { return Topology{name: "regular", param: d} }
+
+// SmallWorldK selects a Newman–Watts small world with lattice
+// half-width k (degree >= 2k). SmallWorldK(0) uses the default k = 2.
+func SmallWorldK(k int) Topology { return Topology{name: "smallworld", param: k} }
+
+// ParseTopology parses a textual topology spec: "complete", or any
+// registered overlay name with an optional ":param" suffix — "chord",
+// "torus", "hypercube", "regular:6", "smallworld:3", "ring",
+// "scalefree".
+func ParseTopology(text string) (Topology, error) {
+	if strings.EqualFold(strings.TrimSpace(text), "complete") {
+		return Complete, nil
+	}
+	spec, err := overlay.ParseSpec(text)
+	if err != nil {
+		return Topology{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return Topology{name: spec.Name, param: spec.Param}, nil
+}
+
+// TopologyNames lists every selectable topology ("complete" plus the
+// overlay registry) in sorted order.
+func TopologyNames() []string {
+	return append([]string{"complete"}, overlay.Names()...)
+}
+
+// String renders the topology in its ParseTopology form.
+func (t Topology) String() string {
+	if t.isComplete() {
+		return "complete"
+	}
+	return t.spec().String()
+}
+
+func (t Topology) isComplete() bool { return t.name == "" || t.name == "complete" }
+
+func (t Topology) spec() overlay.Spec { return overlay.Spec{Name: t.name, Param: t.param} }
 
 // Config describes the simulated network.
 type Config struct {
@@ -56,9 +142,10 @@ type Config struct {
 	Loss float64
 	// CrashFraction crashes this fraction of nodes before the protocol
 	// starts (the paper's initial-crash failure model). Aggregates are
-	// then computed over the surviving nodes. Not supported on Chord.
+	// then computed over the surviving nodes. Not supported on sparse
+	// overlays (routing repair is out of scope).
 	CrashFraction float64
-	// Topology selects Complete (default) or Chord.
+	// Topology selects Complete (default) or a sparse overlay.
 	Topology Topology
 	// ChordBits sets the Chord identifier width (0 = 40).
 	ChordBits int
@@ -103,11 +190,14 @@ func (c Config) validate(values []float64) error {
 	if c.CrashFraction < 0 || c.CrashFraction >= 1 {
 		return fmt.Errorf("%w: CrashFraction must be in [0,1)", ErrBadConfig)
 	}
-	if c.Topology == Chord && c.CrashFraction != 0 {
-		return fmt.Errorf("%w: Chord does not support crashes (routing repair out of scope)", ErrBadConfig)
+	if c.Topology.isComplete() {
+		return nil
 	}
-	if c.Topology != Complete && c.Topology != Chord {
-		return fmt.Errorf("%w: unknown topology %d", ErrBadConfig, c.Topology)
+	if c.CrashFraction != 0 {
+		return fmt.Errorf("%w: topology %s does not support crashes (routing repair out of scope)", ErrBadConfig, c.Topology)
+	}
+	if err := overlay.Check(c.Topology.spec(), c.N); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	return nil
 }
@@ -116,12 +206,22 @@ func (c Config) engine() *sim.Engine {
 	return sim.NewEngine(c.N, sim.Options{Seed: c.Seed, Loss: c.Loss, CrashFrac: c.CrashFraction})
 }
 
-func (c Config) ring() (*chord.Ring, error) {
-	placement := chord.Even
-	if c.ChordHashed {
-		placement = chord.Hashed
+// buildOverlay constructs the configured sparse overlay. Chord honours
+// the ChordBits/ChordHashed knobs; everything else builds through the
+// registry, seeded by Config.Seed.
+func (c Config) buildOverlay() (overlay.Overlay, error) {
+	if c.Topology.name == "chord" {
+		placement := chord.Even
+		if c.ChordHashed {
+			placement = chord.Hashed
+		}
+		ring, err := chord.New(c.N, chord.Options{Bits: c.ChordBits, Placement: placement, Seed: c.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return overlay.NewChord(ring), nil
 	}
-	return chord.New(c.N, chord.Options{Bits: c.ChordBits, Placement: placement, Seed: c.Seed})
+	return overlay.Build(c.Topology.spec(), c.N, c.Seed)
 }
 
 func wrap(eng *sim.Engine, res *core.Result) *Result {
@@ -140,24 +240,24 @@ func wrap(eng *sim.Engine, res *core.Result) *Result {
 // run dispatches one aggregate computation per the configured topology.
 func (c Config) run(values []float64,
 	complete func(*sim.Engine) (*core.Result, error),
-	sparse func(*sim.Engine, *chord.Ring) (*core.Result, error),
+	sparse func(*sim.Engine, overlay.Overlay) (*core.Result, error),
 ) (*Result, error) {
 	if err := c.validate(values); err != nil {
 		return nil, err
 	}
 	eng := c.engine()
-	if c.Topology == Complete {
+	if c.Topology.isComplete() {
 		res, err := complete(eng)
 		if err != nil {
 			return nil, err
 		}
 		return wrap(eng, res), nil
 	}
-	ring, err := c.ring()
+	ov, err := c.buildOverlay()
 	if err != nil {
 		return nil, err
 	}
-	res, err := sparse(eng, ring)
+	res, err := sparse(eng, ov)
 	if err != nil {
 		return nil, err
 	}
@@ -170,8 +270,8 @@ func Max(cfg Config, values []float64) (*Result, error) {
 		func(eng *sim.Engine) (*core.Result, error) {
 			return core.Max(eng, values, core.Options{})
 		},
-		func(eng *sim.Engine, ring *chord.Ring) (*core.Result, error) {
-			return core.MaxOnChord(eng, ring, values, core.SparseOptions{})
+		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
+			return core.MaxSparse(eng, ov, values, core.SparseOptions{})
 		})
 }
 
@@ -181,20 +281,8 @@ func Min(cfg Config, values []float64) (*Result, error) {
 		func(eng *sim.Engine) (*core.Result, error) {
 			return core.Min(eng, values, core.Options{})
 		},
-		func(eng *sim.Engine, ring *chord.Ring) (*core.Result, error) {
-			neg := make([]float64, len(values))
-			for i, v := range values {
-				neg[i] = -v
-			}
-			res, err := core.MaxOnChord(eng, ring, neg, core.SparseOptions{})
-			if err != nil {
-				return nil, err
-			}
-			res.Value = -res.Value
-			for i := range res.PerNode {
-				res.PerNode[i] = -res.PerNode[i]
-			}
-			return res, nil
+		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
+			return core.MinSparse(eng, ov, values, core.SparseOptions{})
 		})
 }
 
@@ -204,44 +292,43 @@ func Average(cfg Config, values []float64) (*Result, error) {
 		func(eng *sim.Engine) (*core.Result, error) {
 			return core.Ave(eng, values, core.Options{})
 		},
-		func(eng *sim.Engine, ring *chord.Ring) (*core.Result, error) {
-			return core.AveOnChord(eng, ring, values, core.SparseOptions{})
+		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
+			return core.AveSparse(eng, ov, values, core.SparseOptions{})
 		})
 }
 
-// Sum computes the global sum (distinguished-root push-sum; Complete
-// topology only).
+// Sum computes the global sum (distinguished-root push-sum; on sparse
+// overlays the push-sum shares travel with reliable routed transport).
 func Sum(cfg Config, values []float64) (*Result, error) {
-	if cfg.Topology != Complete {
-		return nil, fmt.Errorf("%w: Sum is implemented on the Complete topology", ErrBadConfig)
-	}
 	return cfg.run(values,
 		func(eng *sim.Engine) (*core.Result, error) {
 			return core.Sum(eng, values, core.Options{})
-		}, nil)
+		},
+		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
+			return core.SumSparse(eng, ov, values, core.SparseOptions{})
+		})
 }
 
-// Count computes the number of surviving nodes (Complete topology only).
+// Count computes the number of surviving nodes.
 func Count(cfg Config, values []float64) (*Result, error) {
-	if cfg.Topology != Complete {
-		return nil, fmt.Errorf("%w: Count is implemented on the Complete topology", ErrBadConfig)
-	}
 	return cfg.run(values,
 		func(eng *sim.Engine) (*core.Result, error) {
 			return core.Count(eng, values, core.Options{})
-		}, nil)
+		},
+		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
+			return core.CountSparse(eng, ov, values, core.SparseOptions{})
+		})
 }
 
-// Rank computes Rank(q) = |{alive i : values[i] <= q}| (Complete topology
-// only).
+// Rank computes Rank(q) = |{alive i : values[i] <= q}|.
 func Rank(cfg Config, values []float64, q float64) (*Result, error) {
-	if cfg.Topology != Complete {
-		return nil, fmt.Errorf("%w: Rank is implemented on the Complete topology", ErrBadConfig)
-	}
 	return cfg.run(values,
 		func(eng *sim.Engine) (*core.Result, error) {
 			return core.Rank(eng, values, q, core.Options{})
-		}, nil)
+		},
+		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
+			return core.RankSparse(eng, ov, values, q, core.SparseOptions{})
+		})
 }
 
 // HistogramResult reports a distributed histogram computation.
@@ -259,11 +346,8 @@ type HistogramResult struct {
 // Histogram computes a k+1-bucket histogram of the values with one Rank
 // aggregation per bucket edge (edges must be strictly increasing) —
 // bounded messages throughout, O(k log n) rounds and O(k n loglog n)
-// messages total. Complete topology only.
+// messages total.
 func Histogram(cfg Config, values []float64, edges []float64) (*HistogramResult, error) {
-	if cfg.Topology != Complete {
-		return nil, fmt.Errorf("%w: Histogram is implemented on the Complete topology", ErrBadConfig)
-	}
 	if len(edges) == 0 {
 		return nil, fmt.Errorf("%w: Histogram needs at least one edge", ErrBadConfig)
 	}
@@ -313,7 +397,7 @@ type MomentsResult struct {
 // (a three-component extension of DRR-gossip-ave; Complete topology
 // only).
 func Moments(cfg Config, values []float64) (*MomentsResult, error) {
-	if cfg.Topology != Complete {
+	if !cfg.Topology.isComplete() {
 		return nil, fmt.Errorf("%w: Moments is implemented on the Complete topology", ErrBadConfig)
 	}
 	if err := cfg.validate(values); err != nil {
@@ -355,9 +439,6 @@ type QuantileResult struct {
 func Quantile(cfg Config, values []float64, phi, tol float64) (*QuantileResult, error) {
 	if phi <= 0 || phi > 1 {
 		return nil, fmt.Errorf("%w: phi must be in (0,1]", ErrBadConfig)
-	}
-	if cfg.Topology != Complete {
-		return nil, fmt.Errorf("%w: Quantile is implemented on the Complete topology", ErrBadConfig)
 	}
 	qr := &QuantileResult{}
 	// Every step runs with cfg verbatim so all steps see the same crash

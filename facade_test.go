@@ -154,7 +154,16 @@ func TestConfigValidation(t *testing.T) {
 		{N: 8, Seed: 1, Loss: -0.5},
 		{N: 8, Seed: 1, CrashFraction: 1.0},
 		{N: 8, Seed: 1, Topology: Chord, CrashFraction: 0.5},
-		{N: 8, Seed: 1, Topology: Topology(42)},
+		{N: 8, Seed: 1, Topology: Topology{name: "bogus"}},
+		{N: 6, Seed: 1, Topology: Hypercube},          // 6 is not a power of two
+		{N: 14, Seed: 1, Topology: Torus},             // 14 = 2*7 has no rows,cols >= 3 split
+		{N: 8, Seed: 1, Topology: RandomRegular(2)},   // degree below the d >= 3 floor
+		{N: 9, Seed: 1, Topology: RandomRegular(3)},   // n*d odd
+		{N: 8, Seed: 1, Topology: RandomRegular(8)},   // d >= n
+		{N: 5, Seed: 1, Topology: SmallWorldK(2)},     // n < 2k+2
+		{N: 2, Seed: 1, Topology: Ring},               // ring needs n >= 3
+		{N: 4, Seed: 1, Topology: ScaleFree},          // n <= m+1
+		{N: 16, Seed: 1, Topology: Torus, Loss: -0.1}, // bad loss still rejected
 	}
 	for i, cfg := range cases {
 		vals := values
@@ -167,9 +176,6 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := Max(Config{N: 8, Seed: 1}, values[:4]); !errors.Is(err, ErrBadConfig) {
 		t.Fatal("length mismatch not rejected")
-	}
-	if _, err := Sum(Config{N: 8, Seed: 1, Topology: Chord}, values); !errors.Is(err, ErrBadConfig) {
-		t.Fatal("chord Sum not rejected")
 	}
 	if _, err := Quantile(Config{N: 8, Seed: 1}, values, 1.5, 0); !errors.Is(err, ErrBadConfig) {
 		t.Fatal("phi out of range not rejected")
@@ -282,10 +288,10 @@ func TestHistogramValidation(t *testing.T) {
 	if _, err := Histogram(cfg, values, []float64{5, 5}); !errors.Is(err, ErrBadConfig) {
 		t.Fatal("non-increasing edges accepted")
 	}
-	chordCfg := cfg
-	chordCfg.Topology = Chord
-	if _, err := Histogram(chordCfg, values, []float64{5}); !errors.Is(err, ErrBadConfig) {
-		t.Fatal("chord histogram accepted")
+	badCfg := cfg
+	badCfg.Topology = Topology{name: "bogus"}
+	if _, err := Histogram(badCfg, values, []float64{5}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("bogus-topology histogram accepted")
 	}
 }
 
@@ -352,4 +358,193 @@ func TestHistogramWithCrashes(t *testing.T) {
 // aliveIdx reproduces the engine's crash set for reference computations.
 func aliveIdx(cfg Config, n int) []int {
 	return cfg.engine().AliveIDs()
+}
+
+// The four non-complete overlays of the acceptance bar: every facade
+// aggregate must reach exact (or convergent) consensus on each.
+func TestOverlayFacadeEndToEnd(t *testing.T) {
+	n := 256
+	values := uniformValues(n, 31)
+	for _, topo := range []Topology{Chord, Torus, RandomRegular(4), Hypercube, SmallWorld} {
+		topo := topo
+		t.Run(topo.String(), func(t *testing.T) {
+			cfg := Config{N: n, Seed: 30, Topology: topo}
+			mx, err := Max(cfg, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mx.Value != Exact(cfg, "max", values) || !mx.Consensus {
+				t.Fatalf("Max = %v (consensus %v), want %v", mx.Value, mx.Consensus, Exact(cfg, "max", values))
+			}
+			mn, err := Min(cfg, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mn.Value != Exact(cfg, "min", values) || !mn.Consensus {
+				t.Fatalf("Min = %v (consensus %v)", mn.Value, mn.Consensus)
+			}
+			av, err := Average(cfg, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := agg.RelError(av.Value, Exact(cfg, "average", values)); e > 1e-5 || !av.Consensus {
+				t.Fatalf("Average = %v (rel err %v, consensus %v)", av.Value, e, av.Consensus)
+			}
+			sm, err := Sum(cfg, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := agg.RelError(sm.Value, Exact(cfg, "sum", values)); e > 1e-5 || !sm.Consensus {
+				t.Fatalf("Sum = %v (rel err %v, consensus %v)", sm.Value, e, sm.Consensus)
+			}
+			ct, err := Count(cfg, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := agg.RelError(ct.Value, float64(n)); e > 1e-5 || !ct.Consensus {
+				t.Fatalf("Count = %v (rel err %v, consensus %v)", ct.Value, e, ct.Consensus)
+			}
+			if mx.Trees == 0 || mx.Rounds == 0 || mx.Messages == 0 {
+				t.Fatalf("cost accounting missing: %+v", mx)
+			}
+		})
+	}
+}
+
+func TestOverlayFacadeDeterminism(t *testing.T) {
+	for _, topo := range []Topology{Torus, RandomRegular(4), Hypercube, SmallWorld} {
+		cfg := Config{N: 144, Seed: 33, Topology: topo}
+		if topo == Hypercube {
+			cfg.N = 128
+		}
+		values := uniformValues(cfg.N, 34)
+		a, err := Average(cfg, values)
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		b, err := Average(cfg, values)
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		if a.Value != b.Value || a.Messages != b.Messages || a.Rounds != b.Rounds {
+			t.Fatalf("%s runs not reproducible", topo)
+		}
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	cases := map[string]Topology{
+		"complete":     Complete,
+		"Complete":     Complete,
+		"chord":        Chord,
+		"torus":        Torus,
+		"hypercube":    Hypercube,
+		"ring":         Ring,
+		"smallworld":   SmallWorld,
+		"smallworld:3": SmallWorldK(3),
+		"regular:6":    RandomRegular(6),
+		"regular":      RandomRegular(0),
+		"scalefree":    ScaleFree,
+	}
+	for text, want := range cases {
+		got, err := ParseTopology(text)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", text, err)
+		}
+		if got != want {
+			t.Fatalf("ParseTopology(%q) = %v, want %v", text, got, want)
+		}
+	}
+	for _, bad := range []string{"", "mesh", "regular:x", "chord:", "chord:5", "hypercube:16"} {
+		if _, err := ParseTopology(bad); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("ParseTopology(%q) error = %v, want ErrBadConfig", bad, err)
+		}
+	}
+	if names := TopologyNames(); names[0] != "complete" || len(names) < 7 {
+		t.Fatalf("TopologyNames = %v", names)
+	}
+}
+
+// TestChordParityPreRefactor pins the overlay refactor to the exact
+// pre-refactor Chord behaviour: the golden numbers below were captured
+// from the Topology-enum implementation (one facade run per line) and
+// must never drift for identical (Config, Seed).
+func TestChordParityPreRefactor(t *testing.T) {
+	type golden struct {
+		cfg             Config
+		value           float64
+		rounds          int
+		messages, drops int64
+		trees           int
+	}
+	cases := []struct {
+		name     string
+		cfg      Config
+		max, ave golden
+	}{
+		{
+			name: "even512",
+			cfg:  Config{N: 512, Seed: 13, Topology: Chord},
+			max:  golden{value: 997.5684283367042, rounds: 1658, messages: 23656, trees: 27},
+			ave:  golden{value: 511.83300890425215, rounds: 4758, messages: 45804, trees: 27},
+		},
+		{
+			name: "even1024",
+			cfg:  Config{N: 1024, Seed: 61, Topology: Chord},
+			max:  golden{value: 997.7031111253385, rounds: 1831, messages: 54051, trees: 57},
+			ave:  golden{value: 500.2693236525921, rounds: 5263, messages: 108039, trees: 57},
+		},
+		{
+			name: "hashed300",
+			cfg:  Config{N: 300, Seed: 5, Topology: Chord, ChordBits: 30, ChordHashed: true},
+			max:  golden{value: 999.6730652081209, rounds: 1597, messages: 18028, trees: 21},
+			ave:  golden{value: 501.86318670372515, rounds: 4573, messages: 40047, trees: 21},
+		},
+		{
+			name: "lossy512",
+			cfg:  Config{N: 512, Seed: 65, Topology: Chord, Loss: 0.05},
+			max:  golden{value: 997.4271587119077, rounds: 1599, messages: 49715, drops: 2530, trees: 33},
+			ave:  golden{value: 511.2102396079038, rounds: 4577, messages: 72151, drops: 3660, trees: 33},
+		},
+	}
+	check := func(t *testing.T, kind string, res *Result, want golden) {
+		t.Helper()
+		if res.Value != want.value || res.Rounds != want.rounds || res.Messages != want.messages ||
+			res.Drops != want.drops || res.Trees != want.trees {
+			t.Fatalf("%s drifted from pre-refactor: got (value=%v rounds=%d msgs=%d drops=%d trees=%d), want %+v",
+				kind, res.Value, res.Rounds, res.Messages, res.Drops, res.Trees, want)
+		}
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			values := agg.GenUniform(c.cfg.N, 0, 1000, c.cfg.Seed+1)
+			mx, err := Max(c.cfg, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, "Max", mx, c.max)
+			av, err := Average(c.cfg, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, "Average", av, c.ave)
+		})
+	}
+}
+
+// Quantile and Histogram compose Rank/Count, so they now run on sparse
+// overlays too.
+func TestQuantileOnOverlay(t *testing.T) {
+	n := 256
+	cfg := Config{N: n, Seed: 37, Topology: Torus}
+	values := uniformValues(n, 38)
+	res, err := Quantile(cfg, values, 0.5, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.Quantile(values, 0.5)
+	if math.Abs(res.Value-want) > 10 {
+		t.Fatalf("torus median ≈ %v, want ~%v", res.Value, want)
+	}
 }

@@ -1,0 +1,3 @@
+module drrgossip
+
+go 1.21

@@ -1,10 +1,14 @@
-// Sparse-network DRR-gossip (Section 4 / Theorem 14): Local-DRR builds the
-// forest over the overlay's links, convergecast and broadcast run on tree
-// edges (which are graph edges), and Phase III gossips between roots via
-// the overlay's routing protocol — on Chord, T = O(log n) rounds and
-// M = O(log n) messages per random-node sample, giving O(log^2 n) time and
-// O(n log n) messages overall, against O(log^2 n) time and O(n log^2 n)
-// messages for uniform gossip (see internal/kempe).
+// Sparse-network DRR-gossip (Section 4 / Theorems 13-14): Local-DRR
+// builds the forest over the overlay's links, convergecast and broadcast
+// run on tree edges (which are graph edges), and Phase III gossips
+// between roots via the overlay's routing protocol. The pipeline is
+// generic over overlay.Overlay — Chord keeps its finger router and
+// rejection sampler (T = O(log n) rounds, M = O(log n) messages per
+// random-node sample, giving O(log^2 n) time and O(n log n) messages
+// overall, Theorem 14), while arbitrary connected graphs route through
+// the landmark tree of internal/overlay with per-sample cost bounded by
+// twice the tree depth. Theorem 13 bounds the expected root count by the
+// harmonic degree sum Σ 1/(d_i+1) on any graph.
 package drrgossip
 
 import (
@@ -12,14 +16,16 @@ import (
 	"fmt"
 	"math"
 
+	"drrgossip/internal/agg"
 	"drrgossip/internal/chord"
 	"drrgossip/internal/convergecast"
 	"drrgossip/internal/forest"
 	"drrgossip/internal/localdrr"
+	"drrgossip/internal/overlay"
 	"drrgossip/internal/sim"
 )
 
-// SparseOptions tune the Chord pipelines; zero values pick defaults.
+// SparseOptions tune the sparse pipelines; zero values pick defaults.
 type SparseOptions struct {
 	LocalDRR     localdrr.Options
 	Convergecast convergecast.Options
@@ -28,11 +34,14 @@ type SparseOptions struct {
 	AveIters     int // push-sum iterations (0 = 4 log n + 24)
 }
 
-// ErrCrashedChord is returned when the engine has crashed nodes: Chord
-// routing repair (successor-list maintenance under churn) is outside this
-// reproduction's scope, matching the paper, which analyses sparse
-// topologies without the crash model.
-var ErrCrashedChord = errors.New("drrgossip: chord pipelines require all nodes alive")
+// ErrCrashedOverlay is returned when the engine has crashed nodes:
+// overlay routing repair (e.g. Chord successor-list maintenance under
+// churn) is outside this reproduction's scope, matching the paper, which
+// analyses sparse topologies without the crash model.
+var ErrCrashedOverlay = errors.New("drrgossip: sparse pipelines require all nodes alive")
+
+// ErrCrashedChord is the historical name of ErrCrashedOverlay.
+var ErrCrashedChord = ErrCrashedOverlay
 
 const (
 	kindSparseVal   uint8 = 0x41
@@ -52,15 +61,24 @@ func climbPath(f *forest.Forest, j int) []int {
 	return path
 }
 
-// shipToRandomRoot routes a payload from root r to the root of a
-// near-uniform random node: Chord-route to the sampled node, then climb
-// its ranking tree. Returns false when the sample landed on r itself.
-func shipToRandomRoot(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, r int, pay sim.Payload) bool {
-	j, path, totalHops := ring.Sample(eng.RNG(r), r)
+// sampleRootPath draws a near-uniform random node as seen from root r
+// and returns the hop path to that node's root: overlay-route to the
+// sampled node, then climb its ranking tree. The routing cost of
+// rejected sampling attempts is charged to the engine. An empty path
+// means the sample landed on r itself.
+func sampleRootPath(eng *sim.Engine, ov overlay.Overlay, f *forest.Forest, r int) []int {
+	j, path, totalHops := ov.Sample(eng.RNG(r), r)
 	if extra := totalHops - len(path); extra > 0 {
 		eng.Charge(int64(extra)) // rejected routing attempts are traffic too
 	}
-	full := append(append([]int(nil), path...), climbPath(f, j)...)
+	return append(append([]int(nil), path...), climbPath(f, j)...)
+}
+
+// shipToRandomRoot routes a payload from root r to the root of a
+// near-uniform random node. Returns false when the sample landed on r
+// itself.
+func shipToRandomRoot(eng *sim.Engine, ov overlay.Overlay, f *forest.Forest, r int, pay sim.Payload) bool {
+	full := sampleRootPath(eng, ov, f, r)
 	if len(full) == 0 {
 		return false // sampled own root; nothing to transmit
 	}
@@ -83,10 +101,10 @@ func drainTicks(eng *sim.Engine, roots []int, ticks int, scan func(r int, m sim.
 }
 
 // ticksPerIteration bounds the rounds a routed gossip exchange needs:
-// a Chord route (<= ~2 log n hops) plus a tree climb (<= max height).
-func ticksPerIteration(eng *sim.Engine, f *forest.Forest) int {
-	logn := int(math.Ceil(math.Log2(float64(eng.N()))))
-	return 2*logn + f.MaxHeight() + 2
+// an overlay route (<= RouteBound hops) plus a tree climb (<= max
+// height).
+func ticksPerIteration(ov overlay.Overlay, f *forest.Forest) int {
+	return ov.RouteBound() + f.MaxHeight() + 2
 }
 
 func (o SparseOptions) gossipIters(n int) int {
@@ -110,16 +128,16 @@ func (o SparseOptions) aveIters(n int) int {
 	return 4*int(math.Ceil(math.Log2(float64(n)))) + 24
 }
 
-// sparsePhase12 runs Local-DRR and Phase II over the Chord overlay.
-func sparsePhase12(eng *sim.Engine, ring *chord.Ring, opts SparseOptions) (*forest.Forest, []int, *PhaseStats, error) {
+// sparsePhase12 runs Local-DRR and Phase II over the overlay.
+func sparsePhase12(eng *sim.Engine, ov overlay.Overlay, opts SparseOptions) (*forest.Forest, []int, *PhaseStats, error) {
 	if eng.NumAlive() != eng.N() {
-		return nil, nil, nil, ErrCrashedChord
+		return nil, nil, nil, ErrCrashedOverlay
 	}
-	if ring.N() != eng.N() {
-		return nil, nil, nil, fmt.Errorf("drrgossip: ring has %d nodes, engine %d", ring.N(), eng.N())
+	if ov.Graph().N() != eng.N() {
+		return nil, nil, nil, fmt.Errorf("drrgossip: overlay %s has %d nodes, engine %d", ov.Name(), ov.Graph().N(), eng.N())
 	}
 	var ph PhaseStats
-	ldres, err := localdrr.Run(eng, ring.Graph(), opts.LocalDRR)
+	ldres, err := localdrr.Run(eng, ov.Graph(), opts.LocalDRR)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -132,9 +150,9 @@ func sparsePhase12(eng *sim.Engine, ring *chord.Ring, opts SparseOptions) (*fore
 	return ldres.Forest, rootTo, &ph, nil
 }
 
-// chordGossipMax runs the Gossip-max gossip+sampling procedures over
-// routed Chord transport and returns per-root estimates.
-func chordGossipMax(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, init map[int]float64, opts SparseOptions) (map[int]float64, error) {
+// sparseGossipMax runs the Gossip-max gossip+sampling procedures over
+// routed overlay transport and returns per-root estimates.
+func sparseGossipMax(eng *sim.Engine, ov overlay.Overlay, f *forest.Forest, init map[int]float64, opts SparseOptions) (map[int]float64, error) {
 	roots := f.Roots()
 	val := make(map[int]float64, len(roots))
 	for _, r := range roots {
@@ -144,12 +162,12 @@ func chordGossipMax(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, init ma
 		}
 		val[r] = v
 	}
-	ticks := ticksPerIteration(eng, f)
+	ticks := ticksPerIteration(ov, f)
 	n := eng.N()
 
 	for t := 0; t < opts.gossipIters(n); t++ {
 		for _, r := range roots {
-			shipToRandomRoot(eng, ring, f, r, sim.Payload{Kind: kindSparseVal, A: val[r]})
+			shipToRandomRoot(eng, ov, f, r, sim.Payload{Kind: kindSparseVal, A: val[r]})
 		}
 		drainTicks(eng, roots, ticks, func(r int, m sim.Message) {
 			if m.Pay.Kind == kindSparseVal && m.Pay.A > val[r] {
@@ -160,7 +178,7 @@ func chordGossipMax(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, init ma
 	for t := 0; t < opts.sampleIters(n); t++ {
 		var inquiries []sim.Message
 		for _, r := range roots {
-			shipToRandomRoot(eng, ring, f, r, sim.Payload{Kind: kindSparseInq, X: int64(r)})
+			shipToRandomRoot(eng, ov, f, r, sim.Payload{Kind: kindSparseInq, X: int64(r)})
 		}
 		drainTicks(eng, roots, ticks, func(r int, m sim.Message) {
 			if m.Pay.Kind == kindSparseInq {
@@ -169,7 +187,7 @@ func chordGossipMax(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, init ma
 		})
 		for _, inq := range inquiries {
 			responder, inquirer := inq.To, inq.From
-			path := ring.RouteToNode(responder, inquirer)
+			path := ov.Route(responder, inquirer)
 			if len(path) == 0 {
 				continue
 			}
@@ -184,8 +202,12 @@ func chordGossipMax(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, init ma
 	return val, nil
 }
 
-// chordGossipAve runs push-sum over roots with routed transport.
-func chordGossipAve(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, init map[int]convergecast.SumCount, opts SparseOptions) (map[int]float64, error) {
+// sparseGossipAve runs push-sum over roots with routed transport. With
+// reliable set, shares travel with link-layer retransmission and are
+// restored to the sender when undeliverable, so no push-sum mass is ever
+// destroyed — required by the distinguished-root Sum/Count variants,
+// whose denominator is a single unit of mass (see gossip.AveOptions).
+func sparseGossipAve(eng *sim.Engine, ov overlay.Overlay, f *forest.Forest, init map[int]convergecast.SumCount, opts SparseOptions, reliable bool) (map[int]float64, error) {
 	roots := f.Roots()
 	s := make(map[int]float64, len(roots))
 	g := make(map[int]float64, len(roots))
@@ -196,17 +218,22 @@ func chordGossipAve(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, init ma
 		}
 		s[r], g[r] = sc.Sum, sc.Count
 	}
-	ticks := ticksPerIteration(eng, f)
+	ticks := ticksPerIteration(ov, f)
 	for t := 0; t < opts.aveIters(eng.N()); t++ {
 		for _, r := range roots {
+			full := sampleRootPath(eng, ov, f, r)
+			if len(full) == 0 {
+				continue // sampled own root; the mass stays in place
+			}
 			halfS, halfG := s[r]/2, g[r]/2
 			pay := sim.Payload{Kind: kindSparseShare, A: halfS, B: halfG}
-			// Commit the halving only if the share actually leaves
-			// (sampling one's own root keeps the mass in place).
-			sBefore, gBefore := s[r], g[r]
 			s[r], g[r] = halfS, halfG
-			if !shipToRandomRoot(eng, ring, f, r, pay) {
-				s[r], g[r] = sBefore, gBefore
+			if reliable {
+				if !eng.SendRoutedReliable(r, full, pay, 0) {
+					s[r], g[r] = s[r]*2, g[r]*2 // undeliverable: restore
+				}
+			} else {
+				eng.SendRouted(r, full, pay)
 			}
 		}
 		drainTicks(eng, roots, ticks, func(r int, m sim.Message) {
@@ -227,12 +254,12 @@ func chordGossipAve(eng *sim.Engine, ring *chord.Ring, f *forest.Forest, init ma
 	return est, nil
 }
 
-// MaxOnChord runs DRR-gossip-max over a Chord overlay (Theorem 14).
-func MaxOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts SparseOptions) (*Result, error) {
+// MaxSparse runs DRR-gossip-max over any overlay (Theorem 14 pipeline).
+func MaxSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, opts SparseOptions) (*Result, error) {
 	if len(values) != eng.N() {
 		return nil, fmt.Errorf("drrgossip: %d values for %d nodes", len(values), eng.N())
 	}
-	f, _, ph, err := sparsePhase12(eng, ring, opts)
+	f, _, ph, err := sparsePhase12(eng, ov, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +270,7 @@ func MaxOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts Sparse
 	ph.Aggregate = addCounters(ph.Aggregate, c)
 
 	before := eng.Stats()
-	est, err := chordGossipMax(eng, ring, f, covmax, opts)
+	est, err := sparseGossipMax(eng, ov, f, covmax, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -257,14 +284,52 @@ func MaxOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts Sparse
 	return finish(eng, f, perNode[f.LargestRoot()], perNode, *ph), nil
 }
 
-// AveOnChord runs DRR-gossip-ave over a Chord overlay: Gossip-max on tree
+// MinSparse runs the Min variant (Gossip-max on negated values).
+func MinSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, opts SparseOptions) (*Result, error) {
+	neg := make([]float64, len(values))
+	for i, v := range values {
+		neg[i] = -v
+	}
+	res, err := MaxSparse(eng, ov, neg, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Value = -res.Value
+	for i := range res.PerNode {
+		res.PerNode[i] = -res.PerNode[i]
+	}
+	return res, nil
+}
+
+// AveSparse runs DRR-gossip-ave over any overlay: Gossip-max on tree
 // sizes elects the largest root, push-sum converges there, Data-spread
 // distributes the answer, and the trees broadcast it to every node.
-func AveOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts SparseOptions) (*Result, error) {
+func AveSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, opts SparseOptions) (*Result, error) {
+	return avePipelineSparse(eng, ov, values, opts, pushAve)
+}
+
+// SumSparse computes the global sum over any overlay with the
+// distinguished-root push-sum (reliable routed shares).
+func SumSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, opts SparseOptions) (*Result, error) {
+	return avePipelineSparse(eng, ov, values, opts, pushSum)
+}
+
+// CountSparse computes the number of nodes over any overlay.
+func CountSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, opts SparseOptions) (*Result, error) {
+	return avePipelineSparse(eng, ov, values, opts, pushCount)
+}
+
+// RankSparse computes Rank(q) = |{i : v_i <= q}| over any overlay by
+// summing indicator values.
+func RankSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, q float64, opts SparseOptions) (*Result, error) {
+	return SumSparse(eng, ov, agg.Indicator(values, q), opts)
+}
+
+func avePipelineSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, opts SparseOptions, mode pushMode) (*Result, error) {
 	if len(values) != eng.N() {
 		return nil, fmt.Errorf("drrgossip: %d values for %d nodes", len(values), eng.N())
 	}
-	f, _, ph, err := sparsePhase12(eng, ring, opts)
+	f, _, ph, err := sparsePhase12(eng, ov, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +344,7 @@ func AveOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts Sparse
 	for r, sc := range covsum {
 		keys[r] = largestKey(int(sc.Count), r)
 	}
-	kest, err := chordGossipMax(eng, ring, f, keys, opts)
+	kest, err := sparseGossipMax(eng, ov, f, keys, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +359,10 @@ func AveOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts Sparse
 		return nil, fmt.Errorf("drrgossip: elected node %d is not a root", z)
 	}
 
-	est, err := chordGossipAve(eng, ring, f, buildInit(pushAve, covsum, z), opts)
+	// Sum and Count ship their shares reliably: their distinguished-root
+	// denominator is a single unit of mass whose loss cannot be averaged
+	// away, unlike the Ave ratio where losses cancel.
+	est, err := sparseGossipAve(eng, ov, f, buildInit(mode, covsum, z), opts, mode != pushAve)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +372,7 @@ func AveOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts Sparse
 		spreadInit[r] = math.Inf(-1)
 	}
 	spreadInit[z] = est[z]
-	sest, err := chordGossipMax(eng, ring, f, spreadInit, opts)
+	sest, err := sparseGossipMax(eng, ov, f, spreadInit, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -316,4 +384,17 @@ func AveOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts Sparse
 	}
 	ph.Broadcast = c3
 	return finish(eng, f, est[z], perNode, *ph), nil
+}
+
+// MaxOnChord runs DRR-gossip-max over a Chord overlay. It is the
+// historical Chord-specific entry point, now a thin wrapper over
+// MaxSparse.
+func MaxOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts SparseOptions) (*Result, error) {
+	return MaxSparse(eng, overlay.NewChord(ring), values, opts)
+}
+
+// AveOnChord runs DRR-gossip-ave over a Chord overlay (wrapper over
+// AveSparse).
+func AveOnChord(eng *sim.Engine, ring *chord.Ring, values []float64, opts SparseOptions) (*Result, error) {
+	return AveSparse(eng, overlay.NewChord(ring), values, opts)
 }

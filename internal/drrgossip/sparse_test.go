@@ -6,6 +6,7 @@ import (
 
 	"drrgossip/internal/agg"
 	"drrgossip/internal/chord"
+	"drrgossip/internal/overlay"
 	"drrgossip/internal/sim"
 )
 
@@ -159,5 +160,134 @@ func BenchmarkMaxOnChord(b *testing.B) {
 		if _, err := MaxOnChord(eng, ring, values, SparseOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// testOverlays builds one overlay per registered sparse family sized for
+// fast end-to-end runs.
+func testOverlays(t testing.TB, n int, seed uint64) []overlay.Overlay {
+	t.Helper()
+	ovs := make([]overlay.Overlay, 0, 4)
+	for _, spec := range []overlay.Spec{
+		{Name: "chord"},
+		{Name: "torus"},
+		{Name: "regular", Param: 4},
+		{Name: "hypercube"},
+		{Name: "smallworld"},
+	} {
+		ov, err := overlay.Build(spec, n, seed)
+		if err != nil {
+			t.Fatalf("build %v: %v", spec, err)
+		}
+		ovs = append(ovs, ov)
+	}
+	return ovs
+}
+
+func TestSparsePipelineAcrossOverlays(t *testing.T) {
+	n := 256
+	values := agg.GenUniform(n, -500, 500, 9)
+	wantMax := agg.Exact(agg.Max, values, 0)
+	wantAve := agg.Exact(agg.Average, values, 0)
+	wantSum := agg.Exact(agg.Sum, values, 0)
+	for _, ov := range testOverlays(t, n, 3) {
+		ov := ov
+		t.Run(ov.Name(), func(t *testing.T) {
+			mres, err := MaxSparse(sim.NewEngine(n, sim.Options{Seed: 101}), ov, values, SparseOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mres.Value != wantMax || !mres.Consensus {
+				t.Fatalf("Max = %v (consensus %v), want %v", mres.Value, mres.Consensus, wantMax)
+			}
+			nres, err := MinSparse(sim.NewEngine(n, sim.Options{Seed: 102}), ov, values, SparseOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := agg.Exact(agg.Min, values, 0); nres.Value != want || !nres.Consensus {
+				t.Fatalf("Min = %v, want %v", nres.Value, want)
+			}
+			ares, err := AveSparse(sim.NewEngine(n, sim.Options{Seed: 103}), ov, values, SparseOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := agg.RelError(ares.Value, wantAve); e > 1e-5 || !ares.Consensus {
+				t.Fatalf("Ave = %v (rel err %v, consensus %v)", ares.Value, e, ares.Consensus)
+			}
+			sres, err := SumSparse(sim.NewEngine(n, sim.Options{Seed: 104}), ov, values, SparseOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := agg.RelError(sres.Value, wantSum); e > 1e-5 || !sres.Consensus {
+				t.Fatalf("Sum = %v (rel err %v, consensus %v)", sres.Value, e, sres.Consensus)
+			}
+			cres, err := CountSparse(sim.NewEngine(n, sim.Options{Seed: 105}), ov, values, SparseOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := agg.RelError(cres.Value, float64(n)); e > 1e-5 || !cres.Consensus {
+				t.Fatalf("Count = %v (rel err %v)", cres.Value, e)
+			}
+		})
+	}
+}
+
+func TestRankSparse(t *testing.T) {
+	n := 256
+	ov, err := overlay.Build(overlay.Spec{Name: "torus"}, n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := agg.GenUniform(n, 0, 1000, 10)
+	q := 400.0
+	res, err := RankSparse(sim.NewEngine(n, sim.Options{Seed: 106}), ov, values, q, SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.Exact(agg.Rank, values, q)
+	if agg.RelError(res.Value, want) > 1e-6 {
+		t.Fatalf("Rank = %v, want %v", res.Value, want)
+	}
+}
+
+func TestSumSparseUnderLoss(t *testing.T) {
+	// Reliable routed shares must keep the distinguished-root Sum
+	// accurate even with per-message loss.
+	n := 256
+	ov, err := overlay.Build(overlay.Spec{Name: "hypercube"}, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := agg.GenUniform(n, 0, 100, 11)
+	res, err := SumSparse(sim.NewEngine(n, sim.Options{Seed: 107, Loss: 0.05}), ov, values, SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.Exact(agg.Sum, values, 0)
+	if e := agg.RelError(res.Value, want); e > 1e-3 {
+		t.Fatalf("lossy Sum = %v, want %v (rel err %v)", res.Value, want, e)
+	}
+}
+
+func TestSparseRejectsCrashedEngine(t *testing.T) {
+	n := 128
+	ov, err := overlay.Build(overlay.Spec{Name: "hypercube"}, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(n, sim.Options{Seed: 108, CrashFrac: 0.2})
+	if _, err := MaxSparse(eng, ov, make([]float64, n), SparseOptions{}); err != ErrCrashedOverlay {
+		t.Fatalf("crashed engine accepted: %v", err)
+	}
+}
+
+func TestSparseSizeMismatchOverlay(t *testing.T) {
+	ov, err := overlay.Build(overlay.Spec{Name: "torus"}, 144, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(64, sim.Options{Seed: 109})
+	if _, err := MaxSparse(eng, ov, make([]float64, 64), SparseOptions{}); err == nil {
+		t.Fatal("overlay/engine size mismatch accepted")
 	}
 }

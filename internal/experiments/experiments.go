@@ -121,6 +121,7 @@ func Registry() []Experiment {
 		{"F10", "Theorem 13: Local-DRR tree count is Σ 1/(d_i+1)", RunF10},
 		{"F11", "Theorem 14: DRR-gossip vs uniform gossip on Chord", RunF11},
 		{"F12", "Theorem 15: the address-oblivious Ω(n log n) separation", RunF12},
+		{"OV1", "Overlay sweep: Section 4 pipeline on pluggable topologies", RunOV1},
 		{"A1", "Ablation: DRR probe budget", RunA1},
 		{"A2", "Ablation: message-loss sweep", RunA2},
 		{"A3", "Ablation: clusterhead heuristic bootstrap cost", RunA3},

@@ -393,6 +393,39 @@ func MustRandomRegular(n, d int, seed uint64) *Graph {
 	panic("graph: MustRandomRegular exhausted retries")
 }
 
+// adjSets accumulates undirected edges in per-vertex sets — the shared
+// scaffolding for generators that sample edges and must dedupe them
+// before emitting sorted adjacency lists.
+type adjSets []map[int]bool
+
+func newAdjSets(n int) adjSets {
+	a := make(adjSets, n)
+	for i := range a {
+		a[i] = make(map[int]bool)
+	}
+	return a
+}
+
+func (a adjSets) add(u, v int) {
+	a[u][v] = true
+	a[v][u] = true
+}
+
+func (a adjSets) has(u, v int) bool { return a[u][v] }
+
+func (a adjSets) lists() [][]int {
+	lists := make([][]int, len(a))
+	for u, set := range a {
+		lst := make([]int, 0, len(set))
+		for v := range set {
+			lst = append(lst, v)
+		}
+		sort.Ints(lst)
+		lists[u] = lst
+	}
+	return lists
+}
+
 // BarabasiAlbert grows a preferential-attachment graph: starting from a
 // (m+1)-clique, each new vertex attaches to m distinct existing vertices
 // chosen with probability proportional to their degree. The heavy-tailed
@@ -404,16 +437,12 @@ func BarabasiAlbert(n, m int, seed uint64) *Graph {
 		panic("graph: BarabasiAlbert needs n > m+1 and m >= 1")
 	}
 	rng := xrand.Derive(seed, 0xBA, uint64(n), uint64(m))
-	adj := make([]map[int]bool, n)
-	for i := range adj {
-		adj[i] = make(map[int]bool)
-	}
+	adj := newAdjSets(n)
 	// Repeated-endpoint list: sampling an index uniformly samples a vertex
 	// with probability proportional to its degree.
 	var endpoints []int
 	addEdge := func(u, v int) {
-		adj[u][v] = true
-		adj[v][u] = true
+		adj.add(u, v)
 		endpoints = append(endpoints, u, v)
 	}
 	for u := 0; u <= m; u++ {
@@ -438,16 +467,40 @@ func BarabasiAlbert(n, m int, seed uint64) *Graph {
 			addEdge(u, v)
 		}
 	}
-	lists := make([][]int, n)
-	for u, set := range adj {
-		lst := make([]int, 0, len(set))
-		for v := range set {
-			lst = append(lst, v)
-		}
-		sort.Ints(lst)
-		lists[u] = lst
+	return mustBuild(fmt.Sprintf("ba(%d,m=%d)", n, m), adj.lists())
+}
+
+// SmallWorld samples a Newman–Watts small-world graph: the ring lattice
+// C(n, k) (every vertex linked to its k nearest neighbours on each side)
+// plus, per vertex, a uniform random shortcut added with probability
+// beta. Unlike Watts–Strogatz rewiring, the lattice stays intact, so the
+// graph is always connected; the shortcuts give the O(log n) diameter
+// that makes routed root-gossip cheap. Requires k >= 1, n >= 2k+2 and
+// beta in [0,1].
+func SmallWorld(n, k int, beta float64, seed uint64) *Graph {
+	if k < 1 || n < 2*k+2 {
+		panic("graph: SmallWorld needs k >= 1 and n >= 2k+2")
 	}
-	return mustBuild(fmt.Sprintf("ba(%d,m=%d)", n, m), lists)
+	if beta < 0 || beta > 1 {
+		panic("graph: SmallWorld needs beta in [0,1]")
+	}
+	rng := xrand.Derive(seed, 0x5311, uint64(n), uint64(k))
+	adj := newAdjSets(n)
+	for u := 0; u < n; u++ {
+		for d := 1; d <= k; d++ {
+			adj.add(u, (u+d)%n)
+		}
+	}
+	for u := 0; u < n; u++ {
+		if rng.Float64() >= beta {
+			continue
+		}
+		v := rng.IntnOther(n, u)
+		if !adj.has(u, v) {
+			adj.add(u, v)
+		}
+	}
+	return mustBuild(fmt.Sprintf("smallworld(%d,k=%d)", n, k), adj.lists())
 }
 
 // ErdosRenyi samples G(n, p) using geometric edge skipping, which runs in

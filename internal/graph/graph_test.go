@@ -335,3 +335,61 @@ func TestBarabasiAlbertValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestSmallWorld(t *testing.T) {
+	g := SmallWorld(200, 2, 0.25, 7)
+	if g.N() != 200 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.MinDegree() < 4 {
+		t.Fatalf("lattice degree broken: min degree %d < 2k", g.MinDegree())
+	}
+	if !g.Connected() {
+		t.Fatal("Newman–Watts graph must stay connected")
+	}
+	// Shortcuts exist (beta=0.25 over 200 vertices makes ~50 whp) and
+	// shrink the diameter well below the lattice's n/(2k).
+	lattice := SmallWorld(200, 2, 0, 7)
+	if g.NumEdges() <= lattice.NumEdges() {
+		t.Fatalf("no shortcuts added: %d <= %d edges", g.NumEdges(), lattice.NumEdges())
+	}
+	if e, el := g.Eccentricity(0), lattice.Eccentricity(0); e >= el {
+		t.Fatalf("shortcuts did not shrink eccentricity: %d >= %d", e, el)
+	}
+}
+
+func TestSmallWorldDeterministic(t *testing.T) {
+	a := SmallWorld(128, 3, 0.3, 11)
+	b := SmallWorld(128, 3, 0.3, 11)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("SmallWorld not deterministic")
+	}
+	for u := 0; u < 128; u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			t.Fatalf("vertex %d degree differs", u)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d neighbours differ", u)
+			}
+		}
+	}
+}
+
+func TestSmallWorldValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { SmallWorld(5, 2, 0.1, 1) },  // n < 2k+2
+		func() { SmallWorld(10, 0, 0.1, 1) }, // k < 1
+		func() { SmallWorld(10, 2, 1.5, 1) }, // beta out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid SmallWorld accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -276,6 +276,36 @@ func (e *Engine) SendRouted(from int, path []int, p Payload) {
 	e.scheduleAt(e.c.Rounds+len(path), Message{From: from, To: path[len(path)-1], Pay: p})
 }
 
+// SendRoutedReliable is SendRouted with link-layer retransmission: each
+// hop is retried until an attempt survives loss, up to retries attempts
+// per hop (retries <= 0 means 8). Every attempt is paid for, so the
+// expected cost per hop is 1/(1-δ) messages — the paper's "repeated
+// calls" remedy, which protocols whose push-sum mass must never be
+// destroyed (the distinguished-root Sum and Count) use for their routed
+// shares. It reports whether the payload was scheduled; on success it is
+// delivered after len(path) rounds, exactly like SendRouted. A crashed
+// relay exhausts its hop budget (retransmission cannot revive a node),
+// so callers can restore unsent mass when it returns false.
+func (e *Engine) SendRoutedReliable(from int, path []int, p Payload, retries int) bool {
+	if !e.alive[from] || len(path) == 0 {
+		return false
+	}
+	if retries <= 0 {
+		retries = 8
+	}
+	for _, hop := range path {
+		ok := false
+		for t := 0; t < retries && !ok; t++ {
+			ok = e.attempt(hop)
+		}
+		if !ok {
+			return false
+		}
+	}
+	e.scheduleAt(e.c.Rounds+len(path), Message{From: from, To: path[len(path)-1], Pay: p})
+	return true
+}
+
 // ResolveCalls performs one synchronous call round. calls[i] describes the
 // call node i places (Active=false for none). For every call whose request
 // survives, handle is invoked on the callee and may return a response,

@@ -457,3 +457,189 @@ func TestPayloadStaysBounded(t *testing.T) {
 		t.Fatalf("Payload grew to %d bytes; the bounded-message discipline caps it at 48", sz)
 	}
 }
+
+func TestSendRoutedEmptyPath(t *testing.T) {
+	e := NewEngine(4, Options{Seed: 41})
+	e.SendRouted(0, nil, Payload{})
+	e.SendRouted(0, []int{}, Payload{})
+	if e.Stats().Messages != 0 {
+		t.Fatalf("empty-path SendRouted cost %d messages, want 0", e.Stats().Messages)
+	}
+	e.Tick()
+	for i := 0; i < 4; i++ {
+		if len(e.Inbox(i)) != 0 {
+			t.Fatalf("empty-path SendRouted delivered to %d", i)
+		}
+	}
+}
+
+func TestSendRoutedDeadRelayAccounting(t *testing.T) {
+	// A crashed mid-path relay consumes the hops up to and including the
+	// attempt that reaches it; the remaining hops are never transmitted
+	// and nothing is delivered.
+	e := NewEngine(100, Options{Seed: 42, CrashFrac: 0.3})
+	var dead int
+	for i := 1; i < e.N(); i++ {
+		if !e.Alive(i) {
+			dead = i
+			break
+		}
+	}
+	var alive []int
+	for i := 0; i < e.N() && len(alive) < 4; i++ {
+		if e.Alive(i) && i != dead {
+			alive = append(alive, i)
+		}
+	}
+	path := []int{alive[1], dead, alive[2], alive[3]}
+	e.SendRouted(alive[0], path, Payload{})
+	if got := e.Stats().Messages; got != 2 {
+		t.Fatalf("dead-relay SendRouted cost %d messages, want 2 (alive hop + dead hop)", got)
+	}
+	if e.Stats().Drops != 0 {
+		t.Fatal("dead relay must not count as a link drop")
+	}
+	for r := 0; r < len(path)+1; r++ {
+		e.Tick()
+		if len(e.Inbox(alive[3])) != 0 {
+			t.Fatal("message past a dead relay was delivered")
+		}
+	}
+}
+
+func TestSendRoutedLossAccounting(t *testing.T) {
+	// Under certain loss every hop attempt is paid for until the first
+	// drop; summed over many paths, messages - drops = successful hops.
+	e := NewEngine(8, Options{Seed: 43, Loss: 0.5})
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		e.SendRouted(0, []int{1, 2, 3}, Payload{})
+	}
+	st := e.Stats()
+	if st.Drops == 0 || st.Drops == st.Messages {
+		t.Fatalf("expected a mix of drops and successes, got %+v", st)
+	}
+	if st.Messages > 3*trials || st.Messages < trials {
+		t.Fatalf("messages %d out of range for %d 3-hop sends", st.Messages, trials)
+	}
+}
+
+func TestSendViaRelayEqualsDstLossAccounting(t *testing.T) {
+	// relay == dst degenerates to a single hop: exactly one attempt is
+	// paid per send, so drops can never exceed sends.
+	e := NewEngine(3, Options{Seed: 44, Loss: 0.4})
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		e.SendVia(0, 2, 2, Payload{})
+	}
+	st := e.Stats()
+	if st.Messages != trials {
+		t.Fatalf("relay==dst sends cost %d messages, want %d (one hop each)", st.Messages, trials)
+	}
+	if st.Drops == 0 || st.Drops >= st.Messages {
+		t.Fatalf("loss accounting off: %+v", st)
+	}
+	delivered := 0
+	e.Tick()
+	delivered += len(e.Inbox(2))
+	if int64(delivered) != st.Messages-st.Drops {
+		t.Fatalf("delivered %d, want messages-drops = %d", delivered, st.Messages-st.Drops)
+	}
+}
+
+func TestSendViaDeadRelayConsumesMessage(t *testing.T) {
+	e := NewEngine(100, Options{Seed: 45, CrashFrac: 0.3})
+	var dead int
+	for i := 2; i < e.N(); i++ {
+		if !e.Alive(i) {
+			dead = i
+			break
+		}
+	}
+	var src, dst int = -1, -1
+	for i := 0; i < e.N(); i++ {
+		if e.Alive(i) {
+			if src < 0 {
+				src = i
+			} else if dst < 0 && i != src {
+				dst = i
+			}
+		}
+	}
+	e.SendVia(src, dead, dst, Payload{})
+	if e.Stats().Messages != 1 {
+		t.Fatalf("dead relay cost %d messages, want 1 (second hop never sent)", e.Stats().Messages)
+	}
+	e.Tick()
+	if len(e.Inbox(dst)) != 0 {
+		t.Fatal("message via dead relay delivered")
+	}
+}
+
+func TestSendRoutedReliableNoLossMatchesSendRouted(t *testing.T) {
+	e := NewEngine(5, Options{Seed: 46})
+	if !e.SendRoutedReliable(0, []int{1, 2, 3}, Payload{X: 5}, 0) {
+		t.Fatal("lossless reliable send failed")
+	}
+	if e.Stats().Messages != 3 {
+		t.Fatalf("lossless reliable send cost %d, want 3", e.Stats().Messages)
+	}
+	e.Tick()
+	e.Tick()
+	e.Tick()
+	in := e.Inbox(3)
+	if len(in) != 1 || in[0].Pay.X != 5 || in[0].From != 0 {
+		t.Fatalf("reliable delivery wrong: %+v", in)
+	}
+}
+
+func TestSendRoutedReliableRetransmitsThroughLoss(t *testing.T) {
+	e := NewEngine(5, Options{Seed: 47, Loss: 0.4})
+	const trials = 100
+	delivered := 0
+	for i := 0; i < trials; i++ {
+		if e.SendRoutedReliable(0, []int{1, 2}, Payload{}, 0) {
+			delivered++
+		}
+		e.Tick()
+		e.Tick()
+	}
+	if delivered < trials*9/10 {
+		t.Fatalf("reliable sends delivered %d/%d at δ=0.4", delivered, trials)
+	}
+	st := e.Stats()
+	if st.Messages <= 2*trials {
+		t.Fatalf("retransmissions unpaid: %d messages for %d 2-hop sends", st.Messages, trials)
+	}
+}
+
+func TestSendRoutedReliableDeadRelayFails(t *testing.T) {
+	e := NewEngine(100, Options{Seed: 48, CrashFrac: 0.2})
+	var dead int
+	for i := 2; i < e.N(); i++ {
+		if !e.Alive(i) {
+			dead = i
+			break
+		}
+	}
+	var src, hop1, dst int = -1, -1, -1
+	for i := 0; i < e.N(); i++ {
+		if e.Alive(i) && i != dead {
+			switch {
+			case src < 0:
+				src = i
+			case hop1 < 0:
+				hop1 = i
+			case dst < 0:
+				dst = i
+			}
+		}
+	}
+	if e.SendRoutedReliable(src, []int{hop1, dead, dst}, Payload{}, 4) {
+		t.Fatal("reliable send through dead relay claims delivery")
+	}
+	// Empty path is a no-op.
+	if e.SendRoutedReliable(src, nil, Payload{}, 4) {
+		t.Fatal("empty-path reliable send claims delivery")
+	}
+}

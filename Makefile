@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet fmt fmt-check bench ci
+.PHONY: all build test test-short race vet fmt fmt-check bench ci
 
 all: ci
 
@@ -12,6 +12,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

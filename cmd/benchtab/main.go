@@ -1,7 +1,8 @@
 // Command benchtab regenerates the paper's evaluation artifacts: Table 1
-// (T1), the measured theorems (F2-F12) and the ablations (A1-A3). Each
-// experiment prints its tables and machine-checked shape verdicts; the
-// process exits nonzero if any verdict fails.
+// (T1), the measured theorems (F2-F12), the overlay sweep (OV1), the
+// fault-injection survivability table (FT1) and the ablations (A1-A3).
+// Each experiment prints its tables and machine-checked shape verdicts;
+// the process exits nonzero if any verdict fails.
 //
 // Usage:
 //
@@ -11,9 +12,12 @@
 //	go run ./cmd/benchtab -experiment all -quick   # CI-sized sweep
 //	go run ./cmd/benchtab -topology all            # overlay cost columns
 //	go run ./cmd/benchtab -topology chord,torus,regular:6
+//	go run ./cmd/benchtab -experiment FT1 -json    # machine-readable BENCH_FT1.json
+//	go run ./cmd/benchtab -topology all -faults "crash:0.2@0.5"
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +27,44 @@ import (
 	"drrgossip/internal/experiments"
 )
 
+// jsonReport is the machine-readable form emitted by -json for
+// trajectory tracking: one BENCH_<ID>.json per experiment.
+type jsonReport struct {
+	ID        string                `json:"id"`
+	Title     string                `json:"title"`
+	Passed    bool                  `json:"passed"`
+	ElapsedMS int64                 `json:"elapsed_ms"`
+	Seed      uint64                `json:"seed"`
+	Quick     bool                  `json:"quick"`
+	FaultSpec string                `json:"fault_spec,omitempty"`
+	Tables    []string              `json:"tables"`
+	Verdicts  []experiments.Verdict `json:"verdicts"`
+}
+
+func writeJSON(rep *experiments.Report, cfg experiments.Config, elapsed time.Duration) error {
+	out := jsonReport{
+		ID:        rep.ID,
+		Title:     rep.Title,
+		Passed:    rep.Passed(),
+		ElapsedMS: elapsed.Milliseconds(),
+		Seed:      cfg.Seed,
+		Quick:     cfg.Quick,
+		FaultSpec: cfg.FaultSpec,
+		Tables:    rep.Tables,
+		Verdicts:  rep.Verdicts,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := "BENCH_" + rep.ID + ".json"
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", name)
+	return nil
+}
+
 func main() {
 	var (
 		expFlag  = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
@@ -31,6 +73,8 @@ func main() {
 		quick    = flag.Bool("quick", false, "smaller sweeps (CI-sized)")
 		seed     = flag.Uint64("seed", 1, "master random seed")
 		trials   = flag.Int("trials", 0, "override trials per configuration (0 = default)")
+		jsonOut  = flag.Bool("json", false, "additionally write each report as machine-readable BENCH_<ID>.json")
+		faults   = flag.String("faults", "", `fault plan applied to supporting experiments (e.g. "crash:0.2@0.5"; see ParseFaultPlan)`)
 	)
 	flag.Parse()
 
@@ -41,8 +85,9 @@ func main() {
 		return
 	}
 
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials, FaultSpec: *faults}
+
 	if *topoFlag != "" {
-		cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials}
 		var specs []string
 		if strings.EqualFold(*topoFlag, "all") {
 			specs = experiments.DefaultOverlaySpecs()
@@ -57,8 +102,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtab: overlay sweep failed: %v\n", err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		fmt.Println(rep.String())
-		fmt.Printf("(OV1 completed in %v)\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(OV1 completed in %v)\n", elapsed.Round(time.Millisecond))
+		if *jsonOut {
+			if err := writeJSON(rep, cfg, elapsed); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if !rep.Passed() {
 			os.Exit(1)
 		}
@@ -79,7 +131,6 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials}
 	failed := 0
 	for _, exp := range selected {
 		start := time.Now()
@@ -89,8 +140,15 @@ func main() {
 			failed++
 			continue
 		}
+		elapsed := time.Since(start)
 		fmt.Println(rep.String())
-		fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n\n", exp.ID, elapsed.Round(time.Millisecond))
+		if *jsonOut {
+			if err := writeJSON(rep, cfg, elapsed); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				failed++
+			}
+		}
 		if !rep.Passed() {
 			failed++
 		}

@@ -11,6 +11,8 @@
 //	go run ./cmd/drrgossip -n 1024 -agg max -topology regular:6
 //	go run ./cmd/drrgossip -n 4096 -agg rank -arg 500
 //	go run ./cmd/drrgossip -n 4096 -agg quantile -arg 0.99
+//	go run ./cmd/drrgossip -n 1024 -agg average -faults "crash:0.2@0.5"
+//	go run ./cmd/drrgossip -n 1024 -agg sum -faults "churn:0.3:40"
 package main
 
 import (
@@ -34,6 +36,8 @@ func main() {
 		crash    = flag.Float64("crash", 0, "initial crash fraction")
 		topology = flag.String("topology", "complete",
 			"topology spec: "+strings.Join(drrgossip.TopologyNames(), "|")+" (param via name:param, e.g. regular:6)")
+		faultSpec = flag.String("faults", "",
+			`fault plan spec, e.g. "crash:0.2@0.5", "churn:0.3:40", "part:2@0.25..0.75;loss:0.2@0.5..0.9"`)
 		lo = flag.Float64("lo", 0, "value range low")
 		hi = flag.Float64("hi", 1000, "value range high")
 	)
@@ -46,6 +50,10 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Topology = topo
+	if cfg.Faults, err = drrgossip.ParseFaultPlan(*faultSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "drrgossip: %v\n", err)
+		os.Exit(2)
+	}
 	values := agg.GenUniform(*n, *lo, *hi, *seed)
 
 	if strings.ToLower(*aggName) == "quantile" {
@@ -90,6 +98,10 @@ func main() {
 		*aggName, *n, res.Alive, *loss, *topology)
 	fmt.Printf("  value     %.6g   (exact %.6g, rel.err %.3g)\n", res.Value, exact, agg.RelError(res.Value, exact))
 	fmt.Printf("  consensus %v\n", res.Consensus)
+	if !cfg.Faults.Empty() {
+		fmt.Printf("  faults    %s: %d events applied (%d crashes, %d rejoins)\n",
+			cfg.Faults, res.FaultEvents, res.FaultCrashes, res.FaultRevives)
+	}
 	fmt.Printf("  trees     %d   (n/log n = %.1f)\n", res.Trees, float64(*n)/logn)
 	fmt.Printf("  rounds    %d   (%.2f x log2 n)\n", res.Rounds, float64(res.Rounds)/logn)
 	fmt.Printf("  messages  %d   (%.2f per node; %d dropped)\n", res.Messages, float64(res.Messages)/float64(*n), res.Drops)

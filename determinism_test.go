@@ -1,0 +1,102 @@
+package drrgossip
+
+import (
+	"runtime"
+	"testing"
+
+	core "drrgossip/internal/drrgossip"
+	"drrgossip/internal/faults"
+	"drrgossip/internal/sim"
+)
+
+// Determinism regression: identical Seed ⇒ bit-identical Counters and
+// results, with and without an active fault plan, across ParallelFor
+// scheduling (GOMAXPROCS 1 serialises the per-node stepping; a high
+// value exercises the chunked goroutine path — n is kept >= 256 so the
+// parallel branch actually engages).
+func TestDeterminismAcrossParallelForScheduling(t *testing.T) {
+	const n = 2048
+	values := uniformValues(n, 61)
+	plans := map[string]*faults.Plan{"static": nil}
+	churn, err := faults.Parse("churn:0.25:30;loss:0.2@100r..200r;part:2@220r..300r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans["faulty"] = churn
+
+	type outcome struct {
+		value   float64
+		stats   sim.Counters
+		perNode []float64
+	}
+	run := func(procs int, plan *faults.Plan) outcome {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		eng := sim.NewEngine(n, sim.Options{Seed: 63, Loss: 0.02})
+		if plan != nil {
+			// A fixed 400-round horizon for the churn expansion; events
+			// past the run's actual end simply never fire.
+			b, err := plan.Bind(n, 63, 400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Attach(eng)
+		}
+		res, err := core.Ave(eng, values, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{value: res.Value, stats: eng.Stats(), perNode: res.PerNode}
+	}
+
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			serial := run(1, plan)
+			for _, procs := range []int{2, 8} {
+				parallel := run(procs, plan)
+				if parallel.stats != serial.stats {
+					t.Fatalf("GOMAXPROCS=%d: counters drifted: %+v vs %+v",
+						procs, parallel.stats, serial.stats)
+				}
+				if parallel.value != serial.value {
+					t.Fatalf("GOMAXPROCS=%d: value %v vs %v", procs, parallel.value, serial.value)
+				}
+				for i := range serial.perNode {
+					// NaN-safe bit comparison: NaN != NaN, so compare the
+					// "both NaN" case explicitly.
+					a, b := parallel.perNode[i], serial.perNode[i]
+					if a != b && !(a != a && b != b) {
+						t.Fatalf("GOMAXPROCS=%d: perNode[%d] = %v vs %v", procs, i, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The same property through the public facade, where the fault plan's
+// horizon-measurement pre-run doubles the engine executions.
+func TestFacadeDeterminismUnderFaults(t *testing.T) {
+	plan, err := ParseFaultPlan("crash:0.2@0.5;rejoin@0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{N: 1024, Seed: 65, Loss: 0.03, Faults: plan}
+	values := uniformValues(1024, 66)
+	run := func(procs int) *Result {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		res, err := Average(cfg, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial.Value != parallel.Value || serial.Messages != parallel.Messages ||
+		serial.Rounds != parallel.Rounds || serial.Drops != parallel.Drops ||
+		serial.FaultEvents != parallel.FaultEvents {
+		t.Fatalf("facade drifted across schedulers:\n serial   %+v\n parallel %+v", serial, parallel)
+	}
+}

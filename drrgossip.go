@@ -51,6 +51,7 @@ import (
 	"drrgossip/internal/agg"
 	"drrgossip/internal/chord"
 	core "drrgossip/internal/drrgossip"
+	"drrgossip/internal/faults"
 	"drrgossip/internal/overlay"
 	"drrgossip/internal/sim"
 )
@@ -152,6 +153,14 @@ type Config struct {
 	// ChordHashed places Chord identifiers pseudo-randomly instead of
 	// evenly (more realistic, slightly non-uniform sampling).
 	ChordHashed bool
+	// Faults optionally injects a dynamic fault plan — mid-run crashes
+	// and rejoins, partitions, loss bursts, link blackouts, churn — built
+	// with ParseFaultPlan or the internal/faults generators. Plans with
+	// horizon-fraction timings (e.g. "crash:0.2@0.5", 50% through the
+	// run) first measure the healthy run's length, then re-run with the
+	// plan bound to it; both runs are deterministic in Seed. Nil (or an
+	// empty plan) reproduces the static model bit-for-bit.
+	Faults *faults.Plan
 }
 
 // Result reports one aggregate computation.
@@ -170,8 +179,15 @@ type Result struct {
 	Drops int64
 	// Trees is the number of DRR trees built in Phase I.
 	Trees int
-	// Alive is the number of surviving nodes the aggregate ranges over.
+	// Alive is the number of nodes alive when the run ended (with an
+	// active fault plan this reflects mid-run crashes and rejoins).
 	Alive int
+	// FaultEvents is the number of fault actions the plan applied during
+	// the run (0 without a plan); FaultCrashes and FaultRevives count the
+	// node transitions among them.
+	FaultEvents  int
+	FaultCrashes int
+	FaultRevives int
 }
 
 // ErrBadConfig reports an invalid Config.
@@ -189,6 +205,9 @@ func (c Config) validate(values []float64) error {
 	}
 	if c.CrashFraction < 0 || c.CrashFraction >= 1 {
 		return fmt.Errorf("%w: CrashFraction must be in [0,1)", ErrBadConfig)
+	}
+	if err := c.Faults.Validate(c.N); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	if c.Topology.isComplete() {
 		return nil
@@ -237,7 +256,22 @@ func wrap(eng *sim.Engine, res *core.Result) *Result {
 	}
 }
 
+// ParseFaultPlan parses a fault-plan spec string (see internal/faults:
+// "crash:0.2@0.5", "churn:0.3:40", "part:2@0.25..0.75;loss:0.2@0.5..0.9",
+// …) for Config.Faults. An empty spec or "none" yields the empty plan.
+func ParseFaultPlan(text string) (*faults.Plan, error) {
+	p, err := faults.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return p, nil
+}
+
 // run dispatches one aggregate computation per the configured topology.
+// With a fault plan configured, plans that place events by horizon
+// fraction first execute the healthy run to measure its length (both
+// runs are deterministic in Seed, so the measured horizon is exact),
+// then re-execute with the bound plan attached to the engine.
 func (c Config) run(values []float64,
 	complete func(*sim.Engine) (*core.Result, error),
 	sparse func(*sim.Engine, overlay.Overlay) (*core.Result, error),
@@ -245,23 +279,52 @@ func (c Config) run(values []float64,
 	if err := c.validate(values); err != nil {
 		return nil, err
 	}
-	eng := c.engine()
-	if c.Topology.isComplete() {
-		res, err := complete(eng)
+	var ov overlay.Overlay
+	if !c.Topology.isComplete() {
+		var err error
+		if ov, err = c.buildOverlay(); err != nil {
+			return nil, err
+		}
+	}
+	exec := func(b *faults.Bound) (*Result, error) {
+		eng := c.engine()
+		if b != nil {
+			b.Attach(eng)
+		}
+		var res *core.Result
+		var err error
+		if ov == nil {
+			res, err = complete(eng)
+		} else {
+			res, err = sparse(eng, ov)
+		}
 		if err != nil {
 			return nil, err
 		}
-		return wrap(eng, res), nil
+		out := wrap(eng, res)
+		if b != nil {
+			out.FaultEvents = b.Fired()
+			out.FaultCrashes = b.Crashed()
+			out.FaultRevives = b.Revived()
+		}
+		return out, nil
 	}
-	ov, err := c.buildOverlay()
+	if c.Faults.Empty() {
+		return exec(nil)
+	}
+	horizon := 0
+	if c.Faults.NeedsHorizon() {
+		healthy, err := exec(nil)
+		if err != nil {
+			return nil, fmt.Errorf("drrgossip: horizon measurement run: %w", err)
+		}
+		horizon = healthy.Rounds
+	}
+	bound, err := c.Faults.Bind(c.N, c.Seed, horizon)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	res, err := sparse(eng, ov)
-	if err != nil {
-		return nil, err
-	}
-	return wrap(eng, res), nil
+	return exec(bound)
 }
 
 // Max computes the global maximum with DRR-gossip-max (Algorithm 7).

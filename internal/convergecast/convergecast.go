@@ -55,7 +55,11 @@ const (
 type mergeFunc func(acc, in sim.Payload) sim.Payload
 
 // up runs the generic upward aggregation and returns per-root payload
-// accumulators.
+// accumulators. Liveness is re-evaluated every round so that mid-run
+// crashes (dynamic membership) degrade the result instead of stalling
+// the phase: a dead child is no longer waited for, a node with a dead
+// parent stops retrying, and under an active fault regime an incomplete
+// phase returns the partial accumulators rather than ErrIncomplete.
 func up(eng *sim.Engine, f *forest.Forest, init []sim.Payload, merge mergeFunc, opts Options) (map[int]sim.Payload, sim.Counters, error) {
 	n := eng.N()
 	if f.N() != n {
@@ -63,26 +67,41 @@ func up(eng *sim.Engine, f *forest.Forest, init []sim.Payload, merge mergeFunc, 
 	}
 	start := eng.Stats()
 	acc := append([]sim.Payload(nil), init...)
-	pending := make([]int, n) // children not yet merged
 	merged := make([]bool, n) // child -> contribution registered at parent
 	acked := make([]bool, n)  // child -> knows it was registered
-	remaining := 0            // members still to be acked (non-roots)
-	for i := 0; i < n; i++ {
-		if !f.Member(i) {
-			continue
+	// expects reports whether node i still owes its parent a delivery:
+	// alive, unacked, with an alive parent to deliver to.
+	expects := func(i int) bool {
+		return f.Member(i) && !f.IsRoot(i) && !acked[i] &&
+			eng.Alive(i) && eng.Alive(f.Parent(i))
+	}
+	// ready reports whether node i has heard from every child it can
+	// still hear from (dead children are no longer waited for).
+	ready := func(i int) bool {
+		for _, c := range f.Children(i) {
+			if !merged[c] && eng.Alive(c) {
+				return false
+			}
 		}
-		pending[i] = len(f.Children(i))
-		if !f.IsRoot(i) {
-			remaining++
-		}
+		return true
 	}
 	calls := make([]sim.Call, n)
+	remaining := 0
 	roundCap := f.MaxHeight() + opts.extra()
-	for round := 0; remaining > 0 && round < roundCap; round++ {
+	for round := 0; round < roundCap; round++ {
+		remaining = 0
+		for i := 0; i < n; i++ {
+			if expects(i) {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
 		eng.Tick()
 		for i := 0; i < n; i++ {
 			calls[i] = sim.Call{}
-			if !f.Member(i) || f.IsRoot(i) || acked[i] || pending[i] > 0 {
+			if !expects(i) || !ready(i) {
 				continue
 			}
 			pay := acc[i]
@@ -95,19 +114,23 @@ func up(eng *sim.Engine, f *forest.Forest, init []sim.Payload, merge mergeFunc, 
 				if !merged[caller] {
 					merged[caller] = true
 					acc[callee] = merge(acc[callee], req)
-					pending[callee]--
 				}
 				return sim.Payload{Kind: kindUp}, true
 			},
 			func(caller int, resp sim.Payload) {
-				if !acked[caller] {
-					acked[caller] = true
-					remaining--
-				}
+				acked[caller] = true
 			})
 	}
+	// Recount after the loop: the final acks may have landed during the
+	// last permitted round, after this iteration's count was taken.
+	remaining = 0
+	for i := 0; i < n; i++ {
+		if expects(i) {
+			remaining++
+		}
+	}
 	stats := eng.Stats().Sub(start)
-	if remaining > 0 {
+	if remaining > 0 && !eng.Faulty() {
 		return nil, stats, ErrIncomplete
 	}
 	out := make(map[int]sim.Payload, f.NumTrees())
@@ -215,56 +238,89 @@ func Moments(eng *sim.Engine, f *forest.Forest, values []float64, opts Options) 
 // down pushes per-root payloads to every tree member. A node sends to one
 // child per round (the one-call-per-round constraint), retrying
 // unacknowledged children; delivered children start forwarding to their
-// own subtrees the next round.
-func down(eng *sim.Engine, f *forest.Forest, perRoot map[int]sim.Payload, opts Options) ([]sim.Payload, sim.Counters, error) {
+// own subtrees the next round. Liveness is re-evaluated every round:
+// dead children are skipped (their subtrees go unserved — degraded
+// delivery, reported through the returned have mask), and unreachable
+// subtrees (a dead or payload-less ancestor) stop counting toward
+// completion, so mid-run crashes cannot stall the phase. Under an active
+// fault regime an incomplete broadcast returns partial results instead
+// of ErrIncomplete.
+func down(eng *sim.Engine, f *forest.Forest, perRoot map[int]sim.Payload, opts Options) ([]sim.Payload, []bool, sim.Counters, error) {
 	n := eng.N()
 	if f.N() != n {
-		return nil, sim.Counters{}, fmt.Errorf("convergecast: forest has %d nodes, engine %d", f.N(), n)
+		return nil, nil, sim.Counters{}, fmt.Errorf("convergecast: forest has %d nodes, engine %d", f.N(), n)
 	}
 	start := eng.Stats()
 	have := make([]bool, n)
 	pay := make([]sim.Payload, n)
 	nextChild := make([]int, n) // index into Children(i) of next un-acked child
-	remaining := 0
 	for i := 0; i < n; i++ {
-		if !f.Member(i) {
-			continue
-		}
-		remaining++
-		if f.IsRoot(i) {
+		if f.Member(i) && f.IsRoot(i) {
 			p, ok := perRoot[i]
 			if !ok {
-				return nil, sim.Counters{}, fmt.Errorf("convergecast: missing payload for root %d", i)
+				return nil, nil, sim.Counters{}, fmt.Errorf("convergecast: missing payload for root %d", i)
 			}
 			have[i] = true
 			pay[i] = p
-			remaining--
 		}
+	}
+	// order lists members parents-before-children for the per-round
+	// reachability sweep; reach[i] = node i holds or can still receive
+	// the payload through live ancestors.
+	order := f.LeavesFirst()
+	reach := make([]bool, n)
+	remaining := 0
+	countRemaining := func() int {
+		rem := 0
+		for k := len(order) - 1; k >= 0; k-- {
+			i := order[k]
+			switch {
+			case !eng.Alive(i):
+				reach[i] = false
+			case have[i]:
+				reach[i] = true
+			case f.IsRoot(i):
+				reach[i] = false // root without payload cannot be served
+			default:
+				reach[i] = reach[f.Parent(i)]
+			}
+			if reach[i] && !have[i] {
+				rem++
+			}
+		}
+		return rem
 	}
 	calls := make([]sim.Call, n)
 	roundCap := f.MaxTreeSize() + f.MaxHeight() + opts.extra()
-	for round := 0; remaining > 0 && round < roundCap; round++ {
+	for round := 0; round < roundCap; round++ {
+		remaining = countRemaining()
+		if remaining == 0 {
+			break
+		}
 		eng.Tick()
 		for i := 0; i < n; i++ {
 			calls[i] = sim.Call{}
-			if !have[i] {
+			if !have[i] || !eng.Alive(i) {
 				continue
 			}
 			kids := f.Children(i)
+			// Skip children that died waiting: retrying them would block
+			// the rest of the subtree forever.
+			for nextChild[i] < len(kids) && !eng.Alive(kids[nextChild[i]]) {
+				nextChild[i]++
+			}
 			if nextChild[i] >= len(kids) {
 				continue
 			}
-			child := kids[nextChild[i]]
 			p := pay[i]
 			p.Kind = kindDown
-			calls[i] = sim.Call{Active: true, To: child, Pay: p}
+			calls[i] = sim.Call{Active: true, To: kids[nextChild[i]], Pay: p}
 		}
 		eng.ResolveCalls(calls,
 			func(callee, caller int, req sim.Payload) (sim.Payload, bool) {
 				if !have[callee] {
 					have[callee] = true
 					pay[callee] = req
-					remaining--
 				}
 				return sim.Payload{Kind: kindDown}, true
 			},
@@ -272,27 +328,31 @@ func down(eng *sim.Engine, f *forest.Forest, perRoot map[int]sim.Payload, opts O
 				nextChild[caller]++
 			})
 	}
+	// Recount after the loop: the final deliveries may have landed during
+	// the last permitted round, after this iteration's count was taken.
+	remaining = countRemaining()
 	stats := eng.Stats().Sub(start)
-	if remaining > 0 {
-		return nil, stats, ErrIncomplete
+	if remaining > 0 && !eng.Faulty() {
+		return nil, nil, stats, ErrIncomplete
 	}
-	return pay, stats, nil
+	return pay, have, stats, nil
 }
 
 // BroadcastValue distributes one float per root to all members of its
-// tree; the per-node result is NaN for non-members.
+// tree; the per-node result is NaN for non-members and for members the
+// broadcast could not reach (crashed, or beyond a crashed ancestor).
 func BroadcastValue(eng *sim.Engine, f *forest.Forest, perRoot map[int]float64, opts Options) ([]float64, sim.Counters, error) {
 	pays := make(map[int]sim.Payload, len(perRoot))
 	for r, v := range perRoot {
 		pays[r] = sim.Payload{A: v}
 	}
-	res, stats, err := down(eng, f, pays, opts)
+	res, have, stats, err := down(eng, f, pays, opts)
 	if err != nil {
 		return nil, stats, err
 	}
 	out := make([]float64, eng.N())
 	for i := range out {
-		if f.Member(i) {
+		if have[i] {
 			out[i] = res[i].A
 		} else {
 			out[i] = math.NaN()
@@ -304,19 +364,19 @@ func BroadcastValue(eng *sim.Engine, f *forest.Forest, perRoot map[int]float64, 
 // BroadcastRootAddr performs the Phase II address broadcast: every root
 // announces its address down its tree, so all nodes learn their root (the
 // non-address-oblivious forwarding table used by Phase III). Non-members
-// get -1.
+// and unreached members get -1.
 func BroadcastRootAddr(eng *sim.Engine, f *forest.Forest, opts Options) ([]int, sim.Counters, error) {
 	pays := make(map[int]sim.Payload, f.NumTrees())
 	for _, r := range f.Roots() {
 		pays[r] = sim.Payload{X: int64(r)}
 	}
-	res, stats, err := down(eng, f, pays, opts)
+	res, have, stats, err := down(eng, f, pays, opts)
 	if err != nil {
 		return nil, stats, err
 	}
 	out := make([]int, eng.N())
 	for i := range out {
-		if f.Member(i) {
+		if have[i] {
 			out[i] = int(res[i].X)
 		} else {
 			out[i] = -1

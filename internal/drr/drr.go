@@ -157,6 +157,10 @@ func Run(eng *sim.Engine, opts Options) (*Result, error) {
 			orphans++
 		}
 	}
+	// Dynamic membership: nodes that crashed during the phase leave the
+	// forest, and their orphaned children are promoted to roots, so the
+	// forest stays valid under mid-run churn. A no-op in the static model.
+	orphans += forest.RepairParents(parent, eng.Alive)
 	f, err := forest.FromParents(parent)
 	if err != nil {
 		return nil, fmt.Errorf("drr: invalid forest: %w", err)

@@ -142,13 +142,36 @@ func maxPipeline(eng *sim.Engine, values []float64, opts Options, negate bool) (
 	}
 	ph.Broadcast = c3
 
+	value := bestEffortValue(eng, f, perNode[f.LargestRoot()], gres.Estimates)
 	if negate {
 		for i := range perNode {
 			perNode[i] = -perNode[i]
 		}
+		value = -value
 	}
-	value := perNode[f.LargestRoot()]
 	return finish(eng, f, value, perNode, ph), nil
+}
+
+// bestEffortValue picks the run's reported value. In a healthy run the
+// preferred value (the largest root's disseminated result) is finite and
+// wins; when mid-run crashes leave it NaN, the first finite estimate of
+// a live root stands in (any dead root's frozen estimate as a last
+// resort), so faulty runs report a degraded answer instead of NaN.
+func bestEffortValue(eng *sim.Engine, f *forest.Forest, preferred float64, est map[int]float64) float64 {
+	if !math.IsNaN(preferred) && !math.IsInf(preferred, 0) {
+		return preferred
+	}
+	for _, pass := range [2]bool{true, false} { // live roots first; sorted order
+		for _, r := range f.Roots() {
+			if eng.Alive(r) != pass {
+				continue
+			}
+			if v, ok := est[r]; ok && !math.IsNaN(v) && !math.IsInf(v, 0) {
+				return v
+			}
+		}
+	}
+	return preferred
 }
 
 // Ave runs DRR-gossip-ave (Algorithm 8).
@@ -181,6 +204,32 @@ const (
 	pushSum
 	pushCount
 )
+
+// electRoot resolves the distinguished root from the won election key.
+// In a healthy run the decoded winner is a live root and is returned
+// as-is. When mid-run crashes killed it (its tree's mass would be
+// unreachable), the election falls back to the live root with the
+// largest own key — deterministically, since Roots() is sorted — so the
+// push-sum denominator is placed where it can still circulate.
+func electRoot(eng *sim.Engine, f *forest.Forest, maxKey float64, keys map[int]float64) (int, error) {
+	z := decodeKeyRoot(maxKey)
+	if f.IsRoot(z) && eng.Alive(z) {
+		return z, nil
+	}
+	best, bestKey := -1, math.Inf(-1)
+	for _, r := range f.Roots() {
+		if eng.Alive(r) && keys[r] > bestKey {
+			best, bestKey = r, keys[r]
+		}
+	}
+	if best >= 0 {
+		return best, nil
+	}
+	if f.IsRoot(z) {
+		return z, nil // every root is dead; keep the elected one
+	}
+	return -1, fmt.Errorf("drrgossip: elected node %d is not a root", z)
+}
 
 func buildInit(mode pushMode, covsum map[int]convergecast.SumCount, z int) map[int]convergecast.SumCount {
 	init := make(map[int]convergecast.SumCount, len(covsum))
@@ -256,9 +305,9 @@ func avePipeline(eng *sim.Engine, values []float64, opts Options, mode pushMode)
 			maxKey = v
 		}
 	}
-	z := decodeKeyRoot(maxKey)
-	if !f.IsRoot(z) {
-		return nil, fmt.Errorf("drrgossip: elected node %d is not a root", z)
+	z, err := electRoot(eng, f, maxKey, keys)
+	if err != nil {
+		return nil, err
 	}
 
 	// Phase III(b): Gossip-ave; the guarantee (Theorem 7) holds at z.
@@ -275,8 +324,11 @@ func avePipeline(eng *sim.Engine, values []float64, opts Options, mode pushMode)
 		return nil, err
 	}
 
-	// Phase III(c): Data-spread of z's estimate to all roots.
-	sres, err := gossip.Spread(eng, f, rootTo, z, ares.Estimates[z], opts.Gossip)
+	// Phase III(c): Data-spread of z's estimate to all roots. Under
+	// mid-run crashes z's estimate can be NaN (or z freshly dead); the
+	// spread then carries the best surviving estimate instead.
+	value := bestEffortValue(eng, f, ares.Estimates[z], ares.Estimates)
+	sres, err := gossip.Spread(eng, f, rootTo, z, value, opts.Gossip)
 	if err != nil {
 		return nil, err
 	}
@@ -288,13 +340,17 @@ func avePipeline(eng *sim.Engine, values []float64, opts Options, mode pushMode)
 		return nil, err
 	}
 	ph.Broadcast = c3
-	return finish(eng, f, ares.Estimates[z], perNode, ph), nil
+	return finish(eng, f, value, perNode, ph), nil
 }
 
 func finish(eng *sim.Engine, f *forest.Forest, value float64, perNode []float64, ph PhaseStats) *Result {
+	// Consensus ranges over the nodes still alive at the end of the run:
+	// a node that crashed mid-protocol no longer holds (or needs) the
+	// answer. In the static model every member is alive, so this is the
+	// original all-members check.
 	consensus := true
 	for i, v := range perNode {
-		if !f.Member(i) {
+		if !f.Member(i) || !eng.Alive(i) {
 			continue
 		}
 		if v != value || math.IsNaN(v) {

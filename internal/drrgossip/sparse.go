@@ -65,11 +65,17 @@ func climbPath(f *forest.Forest, j int) []int {
 // and returns the hop path to that node's root: overlay-route to the
 // sampled node, then climb its ranking tree. The routing cost of
 // rejected sampling attempts is charged to the engine. An empty path
-// means the sample landed on r itself.
+// means the sample landed on r itself — or, under dynamic membership,
+// on a node that has crashed out of the forest: the route is still paid
+// for, but there is no tree to climb and callers keep their mass.
 func sampleRootPath(eng *sim.Engine, ov overlay.Overlay, f *forest.Forest, r int) []int {
 	j, path, totalHops := ov.Sample(eng.RNG(r), r)
 	if extra := totalHops - len(path); extra > 0 {
 		eng.Charge(int64(extra)) // rejected routing attempts are traffic too
+	}
+	if !f.Member(j) {
+		eng.Charge(int64(len(path))) // the route to the dead end is traffic too
+		return nil
 	}
 	return append(append([]int(nil), path...), climbPath(f, j)...)
 }
@@ -167,6 +173,9 @@ func sparseGossipMax(eng *sim.Engine, ov overlay.Overlay, f *forest.Forest, init
 
 	for t := 0; t < opts.gossipIters(n); t++ {
 		for _, r := range roots {
+			if !eng.Alive(r) {
+				continue // crashed roots place no calls
+			}
 			shipToRandomRoot(eng, ov, f, r, sim.Payload{Kind: kindSparseVal, A: val[r]})
 		}
 		drainTicks(eng, roots, ticks, func(r int, m sim.Message) {
@@ -178,6 +187,9 @@ func sparseGossipMax(eng *sim.Engine, ov overlay.Overlay, f *forest.Forest, init
 	for t := 0; t < opts.sampleIters(n); t++ {
 		var inquiries []sim.Message
 		for _, r := range roots {
+			if !eng.Alive(r) {
+				continue
+			}
 			shipToRandomRoot(eng, ov, f, r, sim.Payload{Kind: kindSparseInq, X: int64(r)})
 		}
 		drainTicks(eng, roots, ticks, func(r int, m sim.Message) {
@@ -219,11 +231,24 @@ func sparseGossipAve(eng *sim.Engine, ov overlay.Overlay, f *forest.Forest, init
 		s[r], g[r] = sc.Sum, sc.Count
 	}
 	ticks := ticksPerIteration(ov, f)
+	// In reliable mode, shares are tracked until their delivery round:
+	// if the destination root crashes while they are in flight, the
+	// engine discards them and the sender's ack times out — the share is
+	// restored, so mid-run crashes cannot bleed push-sum mass (a no-op
+	// in the static model).
+	type inflight struct {
+		r, dst, due int
+		s, g        float64
+	}
+	var pendingShares []inflight
 	for t := 0; t < opts.aveIters(eng.N()); t++ {
 		for _, r := range roots {
+			if !eng.Alive(r) {
+				continue // a crashed root's (s, g) mass freezes in place
+			}
 			full := sampleRootPath(eng, ov, f, r)
 			if len(full) == 0 {
-				continue // sampled own root; the mass stays in place
+				continue // sampled own root (or a dead end); mass stays
 			}
 			halfS, halfG := s[r]/2, g[r]/2
 			pay := sim.Payload{Kind: kindSparseShare, A: halfS, B: halfG}
@@ -231,17 +256,40 @@ func sparseGossipAve(eng *sim.Engine, ov overlay.Overlay, f *forest.Forest, init
 			if reliable {
 				if !eng.SendRoutedReliable(r, full, pay, 0) {
 					s[r], g[r] = s[r]*2, g[r]*2 // undeliverable: restore
+				} else {
+					pendingShares = append(pendingShares, inflight{
+						r: r, dst: full[len(full)-1],
+						due: eng.Round() + len(full), s: halfS, g: halfG,
+					})
 				}
 			} else {
 				eng.SendRouted(r, full, pay)
 			}
 		}
-		drainTicks(eng, roots, ticks, func(r int, m sim.Message) {
-			if m.Pay.Kind == kindSparseShare {
-				s[r] += m.Pay.A
-				g[r] += m.Pay.B
+		for k := 0; k < ticks; k++ {
+			eng.Tick()
+			if len(pendingShares) > 0 {
+				kept := pendingShares[:0]
+				for _, sh := range pendingShares {
+					switch {
+					case sh.due > eng.Round():
+						kept = append(kept, sh) // still in flight
+					case !eng.Alive(sh.dst):
+						s[sh.r] += sh.s // ack timeout: restore
+						g[sh.r] += sh.g
+					}
+				}
+				pendingShares = kept
 			}
-		})
+			for _, r := range roots {
+				for _, m := range eng.Inbox(r) {
+					if m.Pay.Kind == kindSparseShare {
+						s[r] += m.Pay.A
+						g[r] += m.Pay.B
+					}
+				}
+			}
+		}
 	}
 	est := make(map[int]float64, len(roots))
 	for _, r := range roots {
@@ -281,7 +329,8 @@ func MaxSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, opts Spars
 		return nil, err
 	}
 	ph.Broadcast = c3
-	return finish(eng, f, perNode[f.LargestRoot()], perNode, *ph), nil
+	value := bestEffortValue(eng, f, perNode[f.LargestRoot()], est)
+	return finish(eng, f, value, perNode, *ph), nil
 }
 
 // MinSparse runs the Min variant (Gossip-max on negated values).
@@ -354,9 +403,9 @@ func avePipelineSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, op
 			maxKey = v
 		}
 	}
-	z := decodeKeyRoot(maxKey)
-	if !f.IsRoot(z) {
-		return nil, fmt.Errorf("drrgossip: elected node %d is not a root", z)
+	z, err := electRoot(eng, f, maxKey, keys)
+	if err != nil {
+		return nil, err
 	}
 
 	// Sum and Count ship their shares reliably: their distinguished-root
@@ -367,11 +416,14 @@ func avePipelineSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, op
 		return nil, err
 	}
 
+	// Data-spread of z's estimate; under mid-run crashes fall back to the
+	// best surviving estimate (see bestEffortValue).
+	value := bestEffortValue(eng, f, est[z], est)
 	spreadInit := make(map[int]float64, f.NumTrees())
 	for _, r := range f.Roots() {
 		spreadInit[r] = math.Inf(-1)
 	}
-	spreadInit[z] = est[z]
+	spreadInit[z] = value
 	sest, err := sparseGossipMax(eng, ov, f, spreadInit, opts)
 	if err != nil {
 		return nil, err
@@ -383,7 +435,7 @@ func avePipelineSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, op
 		return nil, err
 	}
 	ph.Broadcast = c3
-	return finish(eng, f, est[z], perNode, *ph), nil
+	return finish(eng, f, value, perNode, *ph), nil
 }
 
 // MaxOnChord runs DRR-gossip-max over a Chord overlay. It is the

@@ -19,6 +19,7 @@ import (
 
 	"drrgossip/internal/agg"
 	core "drrgossip/internal/drrgossip"
+	"drrgossip/internal/faults"
 	"drrgossip/internal/sim"
 	"drrgossip/internal/xrand"
 )
@@ -46,6 +47,11 @@ type Options struct {
 	CrashFrac float64
 	// Drift evolves values between epochs (nil = no drift).
 	Drift Drift
+	// Faults optionally applies a dynamic fault plan inside every epoch
+	// (each epoch binds the plan afresh against its own seed and measured
+	// round horizon, so the injected faults vary across epochs exactly as
+	// the crash set does). Nil or empty means static epochs.
+	Faults *faults.Plan
 	// Pipeline tunes the per-epoch protocol.
 	Pipeline core.Options
 }
@@ -60,6 +66,8 @@ type Epoch struct {
 	Alive     int
 	Rounds    int
 	Messages  int64
+	// Crashes counts mid-epoch fault-plan crashes (0 without a plan).
+	Crashes int
 }
 
 // Result is a full monitoring run.
@@ -81,6 +89,9 @@ func Run(opts Options) (*Result, error) {
 	if opts.Epochs < 1 {
 		return nil, fmt.Errorf("%w: Epochs must be >= 1", ErrBadOptions)
 	}
+	if err := opts.Faults.Validate(opts.N); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
 	values := agg.GenUniform(opts.N, 0, 100, xrand.Hash(opts.Seed, 0xE0))
 	driftRNG := xrand.Derive(opts.Seed, 0xE1)
 	res := &Result{}
@@ -89,12 +100,38 @@ func Run(opts Options) (*Result, error) {
 		if e > 0 && opts.Drift != nil {
 			opts.Drift(e, values, driftRNG)
 		}
-		eng := sim.NewEngine(opts.N, sim.Options{
-			Seed:      xrand.Hash(opts.Seed, 0xE2, uint64(e)),
-			Loss:      opts.Loss,
-			CrashFrac: opts.CrashFrac,
-		})
-		run, err := core.Ave(eng, values, opts.Pipeline)
+		epochSeed := xrand.Hash(opts.Seed, 0xE2, uint64(e))
+		runEpoch := func(b *faults.Bound) (*core.Result, *sim.Engine, error) {
+			eng := sim.NewEngine(opts.N, sim.Options{
+				Seed:      epochSeed,
+				Loss:      opts.Loss,
+				CrashFrac: opts.CrashFrac,
+			})
+			if b != nil {
+				b.Attach(eng)
+			}
+			run, err := core.Ave(eng, values, opts.Pipeline)
+			return run, eng, err
+		}
+		var bound *faults.Bound
+		if !opts.Faults.Empty() {
+			horizon := 0
+			if opts.Faults.NeedsHorizon() {
+				// Measure this epoch's healthy round count so fractional
+				// event timings resolve against it (deterministic, so the
+				// measurement is exact).
+				healthy, _, err := runEpoch(nil)
+				if err != nil {
+					return nil, fmt.Errorf("epochs: epoch %d horizon: %w", e, err)
+				}
+				horizon = healthy.Stats.Rounds
+			}
+			var err error
+			if bound, err = opts.Faults.Bind(opts.N, epochSeed, horizon); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+			}
+		}
+		run, eng, err := runEpoch(bound)
 		if err != nil {
 			return nil, fmt.Errorf("epochs: epoch %d: %w", e, err)
 		}
@@ -107,6 +144,9 @@ func Run(opts Options) (*Result, error) {
 			Alive:    eng.NumAlive(),
 			Rounds:   run.Stats.Rounds,
 			Messages: run.Stats.Messages,
+		}
+		if bound != nil {
+			ep.Crashes = bound.Crashed()
 		}
 		if e > 0 {
 			ep.Staleness = agg.RelError(prevEstimate, exact)

@@ -1,7 +1,11 @@
 package epochs
 
 import (
+	"errors"
+	"math"
 	"testing"
+
+	"drrgossip/internal/faults"
 )
 
 func TestMonitoringLoop(t *testing.T) {
@@ -70,6 +74,109 @@ func TestValidation(t *testing.T) {
 	}
 	if _, err := Run(Options{N: 10, Epochs: 0}); err == nil {
 		t.Fatal("Epochs=0 accepted")
+	}
+	if _, err := Run(Options{N: 10, Epochs: -3}); err == nil {
+		t.Fatal("negative Epochs accepted")
+	}
+	bad := &faults.Plan{Events: []faults.Event{{Kind: faults.Crash, Nodes: []int{99}}}}
+	if _, err := Run(Options{N: 10, Epochs: 1, Faults: bad}); !errors.Is(err, ErrBadOptions) {
+		t.Fatal("invalid fault plan accepted")
+	}
+}
+
+// CrashFrac at the boundaries: 0 crashes no one; a fraction so high the
+// engine's keep-one-alive guard kicks in must still aggregate (over the
+// single survivor) rather than wedge or divide by zero.
+func TestCrashFracBoundaries(t *testing.T) {
+	zero, err := Run(Options{N: 64, Epochs: 2, Seed: 170})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range zero.Epochs {
+		if e.Alive != 64 || e.RelErr > 1e-6 {
+			t.Fatalf("CrashFrac=0 epoch %d: %+v", e.Index, e)
+		}
+	}
+	nearTotal, err := Run(Options{N: 64, Epochs: 2, Seed: 171, CrashFrac: 0.999999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range nearTotal.Epochs {
+		if e.Alive < 1 {
+			t.Fatalf("epoch %d: no survivors", e.Index)
+		}
+		if math.IsNaN(e.Estimate) || e.RelErr > 1e-6 {
+			t.Fatalf("epoch %d over %d survivor(s): estimate %v (rel err %v)",
+				e.Index, e.Alive, e.Estimate, e.RelErr)
+		}
+	}
+}
+
+// Drift that leaves values constant (step 0) must behave exactly like no
+// drift at all: zero staleness, identical estimates across epochs.
+func TestZeroStepDriftIsConstant(t *testing.T) {
+	constant, err := Run(Options{N: 256, Epochs: 4, Seed: 172, Drift: RandomWalkDrift(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := Run(Options{N: 256, Epochs: 4, Seed: 172})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range constant.Epochs {
+		if constant.Epochs[i].Exact != none.Epochs[i].Exact {
+			t.Fatalf("epoch %d: zero-step drift changed the exact value", i)
+		}
+	}
+	if constant.MeanStaleness() > 1e-6 {
+		t.Fatalf("constant values but staleness %v", constant.MeanStaleness())
+	}
+}
+
+// A fault plan applied inside every epoch: the monitoring loop keeps
+// terminating, reports crashes, and stays deterministic.
+func TestFaultPlanPerEpoch(t *testing.T) {
+	plan, err := faults.Parse("crash:0.2@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{N: 512, Epochs: 3, Seed: 173, Drift: RandomWalkDrift(1), Faults: plan}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Epochs {
+		if e.Crashes == 0 || e.Alive >= 512 {
+			t.Fatalf("epoch %d: plan did not fire (%+v)", e.Index, e)
+		}
+		if math.IsNaN(e.Estimate) || math.IsInf(e.Estimate, 0) || e.RelErr > 0.1 {
+			t.Fatalf("epoch %d under faults: estimate %v rel err %v", e.Index, e.Estimate, e.RelErr)
+		}
+	}
+	again, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Epochs {
+		if res.Epochs[i].Estimate != again.Epochs[i].Estimate ||
+			res.Epochs[i].Crashes != again.Epochs[i].Crashes {
+			t.Fatal("faulted monitoring loop not deterministic")
+		}
+	}
+	// The static path must be untouched by an empty plan.
+	empty, err := Run(Options{N: 256, Epochs: 2, Seed: 174, Faults: &faults.Plan{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := Run(Options{N: 256, Epochs: 2, Seed: 174})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range empty.Epochs {
+		if empty.Epochs[i].Estimate != bare.Epochs[i].Estimate ||
+			empty.Epochs[i].Messages != bare.Epochs[i].Messages {
+			t.Fatal("empty plan perturbed the monitoring loop")
+		}
 	}
 }
 

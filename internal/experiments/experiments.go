@@ -25,6 +25,12 @@ type Config struct {
 	// Trials overrides the number of repetitions per configuration
 	// (0 = experiment default).
 	Trials int
+	// FaultSpec optionally applies a fault plan (ParseFaultPlan grammar)
+	// to experiments that support it — the overlay sweep runs every
+	// aggregate under the plan and relaxes its exactness verdicts to
+	// termination + bounded error. FT1 sweeps its own scenario catalog
+	// and ignores this.
+	FaultSpec string
 }
 
 func (c Config) trials(def int) int {
@@ -122,6 +128,7 @@ func Registry() []Experiment {
 		{"F11", "Theorem 14: DRR-gossip vs uniform gossip on Chord", RunF11},
 		{"F12", "Theorem 15: the address-oblivious Ω(n log n) separation", RunF12},
 		{"OV1", "Overlay sweep: Section 4 pipeline on pluggable topologies", RunOV1},
+		{"FT1", "Fault injection: aggregates under churn, partitions and loss bursts", RunFT1},
 		{"A1", "Ablation: DRR probe budget", RunA1},
 		{"A2", "Ablation: message-loss sweep", RunA2},
 		{"A3", "Ablation: clusterhead heuristic bootstrap cost", RunA3},

@@ -1,0 +1,75 @@
+// Generators for common fault scenarios. Each returns a Plan; combine
+// with Merge. All randomness is deferred to Bind, so generators are pure.
+
+package faults
+
+import "fmt"
+
+// PoissonChurn returns a churn plan: over the whole run, an expected
+// rate·n crash events arrive as a Poisson process (uniform in time),
+// each killing a uniformly random node; with down > 0 every churned
+// node rejoins down rounds later. Requires a horizon at Bind.
+func PoissonChurn(rate float64, down int) *Plan {
+	spec := fmt.Sprintf("churn:%g", rate)
+	if down > 0 {
+		spec = fmt.Sprintf("churn:%g:%d", rate, down)
+	}
+	return &Plan{
+		Events: []Event{{Kind: ChurnKind, Rate: rate, Down: down}},
+		Spec:   spec,
+	}
+}
+
+// CrashFraction returns a plan that crashes a hashed ⌈frac·n⌉-node
+// subset at the given time (correlated mass failure, e.g. a datacenter
+// outage). A zero end leaves them down for the rest of the run.
+func CrashFraction(frac float64, at, end Timing) *Plan {
+	return &Plan{
+		Events: []Event{{Kind: Crash, Frac: frac, At: at, End: end}},
+		Spec:   fmt.Sprintf("crash:%g@%s%s", frac, at, window(end)),
+	}
+}
+
+// RackFailure returns a correlated-failure plan: a contiguous block of
+// ⌈frac·n⌉ node ids (one "rack" under adjacent placement) crashes at
+// `at` and — if end is nonzero — rejoins at `end`.
+func RackFailure(frac float64, at, end Timing) *Plan {
+	return &Plan{
+		Events: []Event{{Kind: Crash, Frac: frac, Contiguous: true, At: at, End: end}},
+		Spec:   fmt.Sprintf("rack:%g@%s%s", frac, at, window(end)),
+	}
+}
+
+// FlakyRegion returns a plan where every link touching a hashed
+// ⌈frac·n⌉-node region suffers extra loss during [at, end).
+func FlakyRegion(frac, loss float64, at, end Timing) *Plan {
+	return &Plan{
+		Events: []Event{{Kind: Flaky, Frac: frac, Loss: loss, At: at, End: end}},
+		Spec:   fmt.Sprintf("flaky:%g:%g@%s%s", frac, loss, at, window(end)),
+	}
+}
+
+// PartitionNetwork returns a plan splitting the network into `groups`
+// isolated random sets during [at, end).
+func PartitionNetwork(groups int, at, end Timing) *Plan {
+	return &Plan{
+		Events: []Event{{Kind: Partition, Groups: groups, At: at, End: end}},
+		Spec:   fmt.Sprintf("part:%d@%s%s", groups, at, window(end)),
+	}
+}
+
+// LossSpike returns a plan adding extra drop probability `loss` to every
+// link during [at, end) — a δ(t) burst.
+func LossSpike(loss float64, at, end Timing) *Plan {
+	return &Plan{
+		Events: []Event{{Kind: LossBurst, Loss: loss, At: at, End: end}},
+		Spec:   fmt.Sprintf("loss:%g@%s%s", loss, at, window(end)),
+	}
+}
+
+func window(end Timing) string {
+	if end.isZero() {
+		return ""
+	}
+	return ".." + end.String()
+}

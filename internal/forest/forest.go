@@ -246,6 +246,55 @@ func (f *Forest) LeavesFirst() []int {
 	return out
 }
 
+// RepairParents heals a parent vector after mid-run crashes: dead nodes
+// (per the alive predicate) become NotMember, and every live node whose
+// parent died is promoted to a root of its own (orphaned) subtree. It
+// returns the number of promotions. The repaired vector is always a
+// valid forest for FromParents: edges only ever point to live nodes.
+func RepairParents(parent []int, alive func(int) bool) int {
+	promoted := 0
+	for i, p := range parent {
+		if p == NotMember {
+			continue
+		}
+		if !alive(i) {
+			parent[i] = NotMember
+			continue
+		}
+		if p >= 0 && !alive(p) {
+			parent[i] = Root
+			promoted++
+		}
+	}
+	return promoted
+}
+
+// Repair returns a copy of the forest with crashed nodes removed and
+// orphaned subtrees re-rooted (see RepairParents), plus the number of
+// subtree promotions — the Phase I repair path for dynamic membership.
+// When nothing died the receiver is returned unchanged.
+func (f *Forest) Repair(alive func(int) bool) (*Forest, int) {
+	dirty := false
+	for i := range f.parent {
+		if f.Member(i) && !alive(i) {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return f, 0
+	}
+	parent := append([]int(nil), f.parent...)
+	promoted := RepairParents(parent, alive)
+	nf, err := FromParents(parent)
+	if err != nil {
+		// RepairParents only removes nodes and promotes orphans from an
+		// already-valid forest, so this is unreachable.
+		panic("forest: repair produced invalid forest: " + err.Error())
+	}
+	return nf, promoted
+}
+
 // Validate re-checks all structural invariants; it is used by property
 // tests on protocol-constructed forests.
 func (f *Forest) Validate() error {

@@ -1,0 +1,76 @@
+package forest
+
+import "testing"
+
+// Tests for the dynamic-membership repair path.
+
+func TestRepairParents(t *testing.T) {
+	// Tree: 0 <- 1 <- 2, 0 <- 3; separate root 4; non-member 5.
+	parent := []int{Root, 0, 1, 0, Root, NotMember}
+	alive := func(i int) bool { return i != 1 }
+	promoted := RepairParents(parent, alive)
+	if promoted != 1 {
+		t.Fatalf("promoted = %d, want 1 (node 2)", promoted)
+	}
+	want := []int{Root, NotMember, Root, 0, Root, NotMember}
+	for i := range want {
+		if parent[i] != want[i] {
+			t.Fatalf("parent[%d] = %d, want %d", i, parent[i], want[i])
+		}
+	}
+	if _, err := FromParents(parent); err != nil {
+		t.Fatalf("repaired vector invalid: %v", err)
+	}
+}
+
+func TestForestRepair(t *testing.T) {
+	f, err := FromParents([]int{Root, 0, 1, 1, Root, 4, NotMember})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing dead: same forest back, zero promotions.
+	same, promoted := f.Repair(func(int) bool { return true })
+	if same != f || promoted != 0 {
+		t.Fatal("no-op repair rebuilt the forest")
+	}
+	// Kill node 1: its children 2 and 3 become roots of their own trees.
+	nf, promoted := f.Repair(func(i int) bool { return i != 1 })
+	if promoted != 2 {
+		t.Fatalf("promoted = %d, want 2", promoted)
+	}
+	if nf.Member(1) {
+		t.Fatal("dead node still a member")
+	}
+	if !nf.IsRoot(2) || !nf.IsRoot(3) {
+		t.Fatal("orphaned children not promoted to roots")
+	}
+	if nf.NumTrees() != 4 { // 0, 2, 3, 4
+		t.Fatalf("NumTrees = %d, want 4", nf.NumTrees())
+	}
+	if nf.RootOf(5) != 4 {
+		t.Fatal("untouched tree disturbed")
+	}
+	if err := nf.Validate(); err != nil {
+		t.Fatalf("repaired forest invalid: %v", err)
+	}
+	// The original forest is untouched (Repair copies).
+	if !f.Member(1) || f.NumTrees() != 2 {
+		t.Fatal("Repair mutated the receiver")
+	}
+}
+
+func TestForestRepairChain(t *testing.T) {
+	// Chain 0 <- 1 <- 2 <- 3 with both 1 and 2 dead: 3 must root itself.
+	f, err := FromParents([]int{Root, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, promoted := f.Repair(func(i int) bool { return i == 0 || i == 3 })
+	if promoted != 1 {
+		t.Fatalf("promoted = %d, want 1", promoted)
+	}
+	if !nf.IsRoot(3) || nf.Member(1) || nf.Member(2) || !nf.IsRoot(0) {
+		t.Fatalf("chain repair wrong: parents %v %v %v %v",
+			nf.Parent(0), nf.Parent(1), nf.Parent(2), nf.Parent(3))
+	}
+}

@@ -135,8 +135,13 @@ func Max(eng *sim.Engine, f *forest.Forest, rootTo []int, init map[int]float64, 
 	}
 
 	// Gossip procedure: push the current estimate to a random node's root.
+	// Roots that crash mid-run place no further calls (their estimate
+	// freezes; the rest of the clique keeps gossiping).
 	for t := 0; t < gossipRounds; t++ {
 		for _, r := range roots {
+			if !eng.Alive(r) {
+				continue
+			}
 			relay, dst := relayTarget(eng, rootTo, r)
 			eng.SendVia(r, relay, dst, sim.Payload{Kind: kindGossipVal, A: val[r]})
 		}
@@ -159,6 +164,9 @@ func Max(eng *sim.Engine, f *forest.Forest, rootTo []int, init map[int]float64, 
 	// reply back).
 	for t := 0; t < sampleRounds; t++ {
 		for _, r := range roots {
+			if !eng.Alive(r) {
+				continue
+			}
 			relay, dst := relayTarget(eng, rootTo, r)
 			eng.SendVia(r, relay, dst, sim.Payload{Kind: kindInquiry, X: int64(r)})
 		}
@@ -306,14 +314,30 @@ func Ave(eng *sim.Engine, f *forest.Forest, rootTo []int, init map[int]convergec
 			w   float64
 		}
 		var shipped []shipment
+		type inflight struct {
+			r, dst int
+			s, g   float64
+		}
+		var reliableSent []inflight
 		for _, r := range roots {
+			if !eng.Alive(r) {
+				// A crashed root pushes nothing: its (s, g) mass freezes
+				// in place instead of being silently halved away.
+				continue
+			}
 			relay, dst := relayTarget(eng, rootTo, r)
-			if !eng.Alive(relay) {
-				// The call to the relay is never established (the node
-				// crashed before the protocol started), so the sender
-				// detects the failure and retains its share; only the
-				// call attempt is paid for. Silent link loss below does
-				// destroy mass, as in the paper's (1-δ) analysis.
+			if !eng.Alive(relay) ||
+				(opts.ReliableShares && (!f.IsRoot(dst) || !eng.Alive(dst))) {
+				// The call to the relay is never established (crashed
+				// relay), or — in reliable mode — the destination cannot
+				// take the share: no live root to credit, or the root is
+				// currently down (a dead-at-send destination never has
+				// the message scheduled, so Drops-sniffing would wrongly
+				// report it delivered). Both are possible only under
+				// dynamic membership. The sender detects the failure and
+				// retains its share; only the call attempt is paid for.
+				// Silent link loss below does destroy mass, as in the
+				// paper's (1-δ) analysis.
 				eng.Send(r, relay, sim.Payload{Kind: kindAveShare})
 				continue
 			}
@@ -334,6 +358,12 @@ func Ave(eng *sim.Engine, f *forest.Forest, rootTo []int, init map[int]convergec
 					// leaves the system.
 					s[r] *= 2
 					g[r] *= 2
+				} else {
+					// Track the delivery: if dst crashes before the next
+					// Tick the engine discards the message, and the
+					// sender's ack times out — it restores the share
+					// (mid-run crashes only; a no-op in the static model).
+					reliableSent = append(reliableSent, inflight{r: r, dst: dst, s: pay.A, g: pay.B})
 				}
 			}
 			if opts.TrackPotential {
@@ -358,6 +388,14 @@ func Ave(eng *sim.Engine, f *forest.Forest, rootTo []int, init map[int]convergec
 			}
 		}
 		eng.Tick()
+		for _, sh := range reliableSent {
+			if !eng.Alive(sh.dst) {
+				// Ack timeout: the destination died before delivery and
+				// the engine discarded the share; put it back.
+				s[sh.r] += sh.s
+				g[sh.r] += sh.g
+			}
+		}
 		for _, r := range roots {
 			for _, m := range eng.Inbox(r) {
 				if m.Pay.Kind == kindAveShare {

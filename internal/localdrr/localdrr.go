@@ -154,6 +154,9 @@ func Run(eng *sim.Engine, g *graph.Graph, opts Options) (*Result, error) {
 			orphans++
 		}
 	}
+	// Dynamic membership: drop nodes that crashed during the phase and
+	// promote their orphaned children (no-op in the static model).
+	orphans += forest.RepairParents(parent, eng.Alive)
 	f, err := forest.FromParents(parent)
 	if err != nil {
 		return nil, fmt.Errorf("localdrr: invalid forest: %w", err)

@@ -12,11 +12,31 @@
 // retransmissions, is counted as one message, which is the quantity the
 // paper's message-complexity results bound.
 //
+// # Dynamic membership and link faults
+//
+// The paper's failure model is static: Options.CrashFrac removes nodes
+// before round 1 and the surviving population is fixed for the whole run.
+// The engine generalises this to a dynamic model driven from outside
+// (see internal/faults): Crash and Revive change membership between
+// rounds, SetLinkFault installs a per-link extra drop probability
+// (1 severs the link — partitions and blackouts; values in (0,1) model
+// loss bursts and flaky regions), and SetRoundHook lets a fault scheduler
+// run at the top of every Tick, before that round's deliveries. Messages
+// in flight to a node that crashes are discarded at delivery time. The
+// static model is the special case in which none of these hooks are used:
+// with no hook and no link fault installed, the engine's behaviour —
+// every counter, every loss decision — is bit-for-bit identical to the
+// pre-dynamic engine, and an initial-crash set is exactly expressible as
+// a round-0 batch of Crash calls on the ids of InitialCrashSet.
+//
 // Determinism: runs are reproducible from Options.Seed alone. Per-node
 // random streams are derived from (seed, node) so that goroutine-parallel
 // stepping (see ParallelFor) cannot perturb results, and per-message loss
 // is a stateless hash of (seed, message sequence number), with sequence
-// numbers assigned in deterministic node order.
+// numbers assigned in deterministic node order. Fault hooks preserve
+// this: they run at deterministic points (round boundaries) and the
+// link-fault predicate is consulted only from the engine's sequential
+// send path.
 package sim
 
 import (
@@ -62,7 +82,8 @@ type Options struct {
 type Counters struct {
 	Rounds   int   // rounds elapsed (Tick calls)
 	Messages int64 // transmission attempts (lossy or not)
-	Drops    int64 // attempts lost to link failure
+	Drops    int64 // attempts lost to link failure (incl. blocked links)
+	Blocked  int64 // subset of Drops killed by an installed link fault
 	Calls    int64 // calls placed (each call costs >=1 message)
 }
 
@@ -72,6 +93,7 @@ func (c Counters) Sub(prev Counters) Counters {
 		Rounds:   c.Rounds - prev.Rounds,
 		Messages: c.Messages - prev.Messages,
 		Drops:    c.Drops - prev.Drops,
+		Blocked:  c.Blocked - prev.Blocked,
 		Calls:    c.Calls - prev.Calls,
 	}
 }
@@ -81,6 +103,12 @@ const (
 	hashDomainCrash = 0x20 // initial crash selection
 	rngDomainNode   = 0x30 // per-node protocol streams
 )
+
+// LinkFault gives the extra, fault-induced drop probability of a
+// transmission from -> to: 0 is a healthy link, 1 a severed one
+// (partition or blackout), values in between model loss bursts. It is
+// consulted on every transmission attempt while installed.
+type LinkFault func(from, to int) float64
 
 // Engine is the synchronous round simulator. It is not safe for concurrent
 // use; within a round, protocols may parallelize their pure per-node
@@ -97,6 +125,9 @@ type Engine struct {
 	pending map[int][]Message // absolute round -> messages to deliver
 	seq     uint64            // message sequence for loss hashing
 	rngs    []*xrand.Stream   // lazily built per-node streams
+
+	linkFault LinkFault       // nil = all links healthy
+	roundHook func(round int) // runs at the top of every Tick
 }
 
 // NewEngine creates an engine for n nodes. n must be at least 1.
@@ -115,20 +146,16 @@ func NewEngine(n int, opts Options) *Engine {
 		pending: make(map[int][]Message),
 		rngs:    make([]*xrand.Stream, n),
 	}
-	for i := 0; i < n; i++ {
-		// Node i crashes initially with probability CrashFrac,
-		// decided statelessly so the crash set is seed-stable.
-		dead := opts.CrashFrac > 0 &&
-			xrand.HashFloat(opts.Seed, hashDomainCrash, uint64(i)) < opts.CrashFrac
-		e.alive[i] = !dead
-		if !dead {
-			e.nAliv++
-		}
+	for i := range e.alive {
+		e.alive[i] = true
 	}
-	if e.nAliv == 0 {
-		// Keep at least one node alive so protocols are well defined.
-		e.alive[0] = true
-		e.nAliv = 1
+	e.nAliv = n
+	// InitialCrashSet is the single source of truth for the static crash
+	// model (including the keep-one-alive rule), so a round-0 crash plan
+	// over the same set is equivalent by construction.
+	for _, i := range InitialCrashSet(n, opts) {
+		e.alive[i] = false
+		e.nAliv--
 	}
 	return e
 }
@@ -139,10 +166,13 @@ func (e *Engine) N() int { return e.n }
 // NumAlive returns the number of non-crashed nodes.
 func (e *Engine) NumAlive() int { return e.nAliv }
 
-// Alive reports whether node i did not crash initially.
+// Alive reports whether node i is currently alive. In the static model
+// this is fixed at construction (initial crashes); with dynamic
+// membership it changes over the run via Crash and Revive, so per-round
+// protocol logic must not cache it.
 func (e *Engine) Alive(i int) bool { return e.alive[i] }
 
-// AliveIDs returns the ids of non-crashed nodes in increasing order.
+// AliveIDs returns the ids of currently alive nodes in increasing order.
 func (e *Engine) AliveIDs() []int {
 	ids := make([]int, 0, e.nAliv)
 	for i, a := range e.alive {
@@ -162,6 +192,62 @@ func (e *Engine) RNG(i int) *xrand.Stream {
 	return e.rngs[i]
 }
 
+// Crash removes node i from the network mid-run: it stops sending,
+// receiving and answering calls, and messages already in flight to it are
+// discarded at delivery time. Crashing a dead node is a no-op.
+func (e *Engine) Crash(i int) {
+	if e.alive[i] {
+		e.alive[i] = false
+		e.nAliv--
+	}
+}
+
+// Revive rejoins node i after a crash. The node comes back with an empty
+// inbox; any protocol state it re-enters with is the protocol's concern.
+// Reviving a live node is a no-op.
+func (e *Engine) Revive(i int) {
+	if !e.alive[i] {
+		e.alive[i] = true
+		e.nAliv++
+	}
+}
+
+// SetLinkFault installs (or, with nil, removes) the per-link fault
+// predicate. With none installed the engine behaves exactly like the
+// static model.
+func (e *Engine) SetLinkFault(f LinkFault) { e.linkFault = f }
+
+// SetRoundHook installs (or, with nil, removes) a hook invoked at the top
+// of every Tick with the new round number, before that round's messages
+// are delivered — the attachment point for fault schedulers: a node
+// crashed by the hook at round r never sees its round-r deliveries.
+func (e *Engine) SetRoundHook(h func(round int)) { e.roundHook = h }
+
+// Faulty reports whether a fault regime is installed (a round hook or a
+// link fault). Protocols use it to degrade gracefully — returning
+// partial results where the static model would fail fast.
+func (e *Engine) Faulty() bool { return e.roundHook != nil || e.linkFault != nil }
+
+// InitialCrashSet returns the node ids NewEngine(n, opts) crashes
+// before round 1 — NewEngine itself builds its alive set from this, so
+// fault plans reproduce the static crash model exactly with round-0
+// crash events over the same set.
+func InitialCrashSet(n int, opts Options) []int {
+	if opts.CrashFrac <= 0 {
+		return nil
+	}
+	var ids []int
+	for i := 0; i < n; i++ {
+		if xrand.HashFloat(opts.Seed, hashDomainCrash, uint64(i)) < opts.CrashFrac {
+			ids = append(ids, i)
+		}
+	}
+	if len(ids) == n {
+		ids = ids[1:] // NewEngine keeps node 0 alive when all would crash
+	}
+	return ids
+}
+
 // Seed returns the engine's master seed.
 func (e *Engine) Seed() uint64 { return e.opts.Seed }
 
@@ -175,13 +261,27 @@ func (e *Engine) Stats() Counters { return e.c }
 func (e *Engine) Round() int { return e.c.Rounds }
 
 // attempt accounts one transmission and reports whether it survived link
-// loss and the destination is alive. A message to a crashed node is
-// counted (it was sent) but never delivered.
-func (e *Engine) attempt(to int) bool {
+// loss, any installed link fault, and the destination being alive. A
+// message to a crashed node is counted (it was sent) but never delivered.
+// The loss decision hashes the message sequence number exactly as in the
+// static model, so runs without an installed link fault are bit-for-bit
+// identical to the pre-dynamic engine.
+func (e *Engine) attempt(from, to int) bool {
 	e.seq++
 	e.c.Messages++
-	if e.opts.Loss > 0 &&
-		xrand.HashFloat(e.opts.Seed, hashDomainLoss, e.seq) < e.opts.Loss {
+	eff := e.opts.Loss
+	if e.linkFault != nil {
+		if x := e.linkFault(from, to); x > 0 {
+			if x >= 1 {
+				e.c.Drops++
+				e.c.Blocked++
+				return false
+			}
+			eff = 1 - (1-eff)*(1-x) // independent fault and link loss
+		}
+	}
+	if eff > 0 &&
+		xrand.HashFloat(e.opts.Seed, hashDomainLoss, e.seq) < eff {
 		e.c.Drops++
 		return false
 	}
@@ -199,17 +299,23 @@ func (e *Engine) Charge(k int64) {
 	e.c.Messages += k
 }
 
-// Tick advances to the next round: messages sent previously (and routed
-// messages whose hop count has elapsed) become visible in the recipients'
-// inboxes.
+// Tick advances to the next round: the round hook (if any) runs first,
+// then messages sent previously (and routed messages whose hop count has
+// elapsed) become visible in the recipients' inboxes. Messages addressed
+// to a node that has crashed since they were sent are discarded.
 func (e *Engine) Tick() {
 	e.c.Rounds++
+	if e.roundHook != nil {
+		e.roundHook(e.c.Rounds)
+	}
 	for i := range e.inbox {
 		e.inbox[i] = e.inbox[i][:0]
 	}
 	if msgs, ok := e.pending[e.c.Rounds]; ok {
 		for _, m := range msgs {
-			e.inbox[m.To] = append(e.inbox[m.To], m)
+			if e.alive[m.To] {
+				e.inbox[m.To] = append(e.inbox[m.To], m)
+			}
 		}
 		delete(e.pending, e.c.Rounds)
 	}
@@ -233,7 +339,7 @@ func (e *Engine) Send(from, to int, p Payload) {
 	if !e.alive[from] {
 		return
 	}
-	if e.attempt(to) {
+	if e.attempt(from, to) {
 		e.scheduleAt(e.c.Rounds+1, Message{From: from, To: to, Pay: p})
 	}
 }
@@ -252,10 +358,10 @@ func (e *Engine) SendVia(from, relay, dst int, p Payload) {
 		e.Send(from, dst, p)
 		return
 	}
-	if !e.attempt(relay) {
+	if !e.attempt(from, relay) {
 		return
 	}
-	if e.attempt(dst) {
+	if e.attempt(relay, dst) {
 		e.scheduleAt(e.c.Rounds+1, Message{From: from, To: dst, Pay: p})
 	}
 }
@@ -268,10 +374,12 @@ func (e *Engine) SendRouted(from int, path []int, p Payload) {
 	if !e.alive[from] || len(path) == 0 {
 		return
 	}
+	prev := from
 	for _, hop := range path {
-		if !e.attempt(hop) {
+		if !e.attempt(prev, hop) {
 			return
 		}
+		prev = hop
 	}
 	e.scheduleAt(e.c.Rounds+len(path), Message{From: from, To: path[len(path)-1], Pay: p})
 }
@@ -293,14 +401,16 @@ func (e *Engine) SendRoutedReliable(from int, path []int, p Payload, retries int
 	if retries <= 0 {
 		retries = 8
 	}
+	prev := from
 	for _, hop := range path {
 		ok := false
 		for t := 0; t < retries && !ok; t++ {
-			ok = e.attempt(hop)
+			ok = e.attempt(prev, hop)
 		}
 		if !ok {
 			return false
 		}
+		prev = hop
 	}
 	e.scheduleAt(e.c.Rounds+len(path), Message{From: from, To: path[len(path)-1], Pay: p})
 	return true
@@ -330,14 +440,14 @@ func (e *Engine) ResolveCalls(
 			continue
 		}
 		e.c.Calls++
-		if !e.attempt(c.To) {
-			continue // request lost or callee dead
+		if !e.attempt(from, c.To) {
+			continue // request lost, link faulted, or callee dead
 		}
 		resp, ok := handle(c.To, from, c.Pay)
 		if !ok {
 			continue
 		}
-		if e.attempt(from) && onReply != nil {
+		if e.attempt(c.To, from) && onReply != nil {
 			onReply(from, resp)
 		}
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt fmt-check bench ci
+.PHONY: all build test test-short race vet fmt fmt-check bench bench-smoke ci
 
 all: ci
 
@@ -28,5 +28,10 @@ fmt-check:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Session-amortization smoke benchmark: small n, machine-checked
+# verdicts, writes BENCH_QB1.json for trajectory tracking.
+bench-smoke:
+	$(GO) run ./cmd/benchtab -experiment QB1 -quick -json
 
 ci: build vet fmt-check test

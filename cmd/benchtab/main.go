@@ -75,6 +75,7 @@ func main() {
 		trials   = flag.Int("trials", 0, "override trials per configuration (0 = default)")
 		jsonOut  = flag.Bool("json", false, "additionally write each report as machine-readable BENCH_<ID>.json")
 		faults   = flag.String("faults", "", `fault plan applied to supporting experiments (e.g. "crash:0.2@0.5"; see ParseFaultPlan)`)
+		progress = flag.Bool("progress", false, "stream live per-round progress from session-API experiments (FT1, QB1) to stderr")
 	)
 	flag.Parse()
 
@@ -86,6 +87,9 @@ func main() {
 	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials, FaultSpec: *faults}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
 
 	if *topoFlag != "" {
 		var specs []string

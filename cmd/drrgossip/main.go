@@ -1,6 +1,9 @@
-// Command drrgossip runs one aggregate computation on a simulated network
+// Command drrgossip runs aggregate computations on a simulated network
 // and prints the result with its round/message bill — a quick way to see
-// the protocol's complexity profile.
+// the protocol's complexity profile. It fronts the session API: one
+// drrgossip.Network is built per invocation and every query (including
+// each bisection step of a quantile and each edge of a histogram) runs
+// against it.
 //
 // Usage:
 //
@@ -11,8 +14,9 @@
 //	go run ./cmd/drrgossip -n 1024 -agg max -topology regular:6
 //	go run ./cmd/drrgossip -n 4096 -agg rank -arg 500
 //	go run ./cmd/drrgossip -n 4096 -agg quantile -arg 0.99
+//	go run ./cmd/drrgossip -n 4096 -agg histogram -edges 250,500,750
 //	go run ./cmd/drrgossip -n 1024 -agg average -faults "crash:0.2@0.5"
-//	go run ./cmd/drrgossip -n 1024 -agg sum -faults "churn:0.3:40"
+//	go run ./cmd/drrgossip -n 1024 -agg sum -faults "churn:0.3:40" -progress 200
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"drrgossip"
@@ -29,8 +34,9 @@ import (
 func main() {
 	var (
 		n        = flag.Int("n", 4096, "number of nodes")
-		aggName  = flag.String("agg", "average", "aggregate: min|max|sum|count|average|rank|quantile")
+		aggName  = flag.String("agg", "average", "aggregate: min|max|sum|count|average|rank|quantile|histogram|moments")
 		arg      = flag.Float64("arg", 0.5, "rank threshold q, or quantile φ")
+		edgesArg = flag.String("edges", "250,500,750", "histogram bucket edges (comma-separated, increasing)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		loss     = flag.Float64("loss", 0, "per-message loss probability δ")
 		crash    = flag.Float64("crash", 0, "initial crash fraction")
@@ -38,8 +44,9 @@ func main() {
 			"topology spec: "+strings.Join(drrgossip.TopologyNames(), "|")+" (param via name:param, e.g. regular:6)")
 		faultSpec = flag.String("faults", "",
 			`fault plan spec, e.g. "crash:0.2@0.5", "churn:0.3:40", "part:2@0.25..0.75;loss:0.2@0.5..0.9"`)
-		lo = flag.Float64("lo", 0, "value range low")
-		hi = flag.Float64("hi", 1000, "value range high")
+		progress = flag.Int("progress", 0, "stream a live progress line to stderr every K rounds (0 = off)")
+		lo       = flag.Float64("lo", 0, "value range low")
+		hi       = flag.Float64("hi", 1000, "value range high")
 	)
 	flag.Parse()
 
@@ -56,62 +63,94 @@ func main() {
 	}
 	values := agg.GenUniform(*n, *lo, *hi, *seed)
 
-	if strings.ToLower(*aggName) == "quantile" {
-		qres, err := drrgossip.Quantile(cfg, values, *arg, 0)
-		fail(err)
-		fmt.Printf("quantile(%.3g) ≈ %.6g  (%d aggregate runs, %d rounds, %d messages, %.2f msgs/node)\n",
-			*arg, qres.Value, qres.Runs, qres.Rounds, qres.Messages, float64(qres.Messages)/float64(*n))
-		return
-	}
-
-	var res *drrgossip.Result
-	var exact float64
+	var query drrgossip.Query
 	switch strings.ToLower(*aggName) {
 	case "min":
-		res, err = drrgossip.Min(cfg, values)
-		exact = drrgossip.Exact(cfg, "min", values)
+		query = drrgossip.MinOf(values)
 	case "max":
-		res, err = drrgossip.Max(cfg, values)
-		exact = drrgossip.Exact(cfg, "max", values)
+		query = drrgossip.MaxOf(values)
 	case "sum":
-		res, err = drrgossip.Sum(cfg, values)
-		exact = drrgossip.Exact(cfg, "sum", values)
+		query = drrgossip.SumOf(values)
 	case "count":
-		res, err = drrgossip.Count(cfg, values)
-		exact = drrgossip.Exact(cfg, "count", values)
+		query = drrgossip.CountOf(values)
 	case "average":
-		res, err = drrgossip.Average(cfg, values)
-		exact = drrgossip.Exact(cfg, "average", values)
+		query = drrgossip.AverageOf(values)
 	case "rank":
-		res, err = drrgossip.Rank(cfg, values, *arg)
-		if err == nil {
-			exact = float64(int(rankExact(cfg, values, *arg)))
-		}
+		query = drrgossip.RankOf(values, *arg)
+	case "quantile":
+		query = drrgossip.QuantileOf(values, *arg, 0)
+	case "moments":
+		query = drrgossip.MomentsOf(values)
+	case "histogram":
+		edges, err := parseEdges(*edgesArg)
+		fail(err)
+		query = drrgossip.HistogramOf(values, edges)
 	default:
 		fmt.Fprintf(os.Stderr, "drrgossip: unknown aggregate %q\n", *aggName)
 		os.Exit(2)
 	}
+
+	net, err := drrgossip.New(cfg)
+	fail(err)
+	if *progress > 0 {
+		every := *progress
+		net.Observe(drrgossip.ObserverFunc(func(ri drrgossip.RoundInfo) {
+			if ri.Round%every == 0 {
+				fmt.Fprintf(os.Stderr, "  run %d round %6d [%-9s] alive %d msgs %d drops %d faults %d\n",
+					ri.Run, ri.Round, ri.Phase, ri.Alive, ri.Messages, ri.Drops, ri.FaultEvents)
+			}
+		}))
+	}
+	ans, err := net.Run(query)
 	fail(err)
 
 	logn := math.Log2(float64(*n))
 	fmt.Printf("%s over %d nodes (%d alive, δ=%.3g, %s topology)\n",
-		*aggName, *n, res.Alive, *loss, *topology)
-	fmt.Printf("  value     %.6g   (exact %.6g, rel.err %.3g)\n", res.Value, exact, agg.RelError(res.Value, exact))
-	fmt.Printf("  consensus %v\n", res.Consensus)
+		query.Op, *n, ans.Alive, *loss, *topology)
+	switch query.Op {
+	case drrgossip.OpQuantile:
+		fmt.Printf("  quantile(%.3g) ≈ %.6g   (converged %v)\n", *arg, ans.Value, ans.Converged)
+	case drrgossip.OpHistogram:
+		fmt.Printf("  counts    %v   (edges %s)\n", ans.Counts, *edgesArg)
+	case drrgossip.OpMoments:
+		fmt.Printf("  mean      %.6g   variance %.6g   std %.6g\n", ans.Mean, ans.Variance, ans.Std)
+	default:
+		if exact, err := net.Exact(query); err == nil {
+			fmt.Printf("  value     %.6g   (exact %.6g, rel.err %.3g)\n", ans.Value, exact, agg.RelError(ans.Value, exact))
+		} else {
+			fmt.Printf("  value     %.6g\n", ans.Value)
+		}
+		fmt.Printf("  consensus %v\n", ans.Consensus)
+	}
 	if !cfg.Faults.Empty() {
 		fmt.Printf("  faults    %s: %d events applied (%d crashes, %d rejoins)\n",
-			cfg.Faults, res.FaultEvents, res.FaultCrashes, res.FaultRevives)
+			cfg.Faults, ans.FaultEvents, ans.FaultCrashes, ans.FaultRevives)
 	}
-	fmt.Printf("  trees     %d   (n/log n = %.1f)\n", res.Trees, float64(*n)/logn)
-	fmt.Printf("  rounds    %d   (%.2f x log2 n)\n", res.Rounds, float64(res.Rounds)/logn)
-	fmt.Printf("  messages  %d   (%.2f per node; %d dropped)\n", res.Messages, float64(res.Messages)/float64(*n), res.Drops)
+	if ans.Trees > 0 {
+		fmt.Printf("  trees     %d   (n/log n = %.1f)\n", ans.Trees, float64(*n)/logn)
+	}
+	fmt.Printf("  runs      %d   (aggregate protocol executions billed)\n", ans.Cost.Runs)
+	fmt.Printf("  rounds    %d   (%.2f x log2 n)\n", ans.Cost.Rounds, float64(ans.Cost.Rounds)/logn)
+	fmt.Printf("  messages  %d   (%.2f per node; %d dropped)\n",
+		ans.Cost.Messages, float64(ans.Cost.Messages)/float64(*n), ans.Cost.Drops)
+	st := net.Stats()
+	if st.HorizonRuns > 0 || st.OverlayBuilt {
+		fmt.Printf("  session   %d protocol runs (%d horizon pre-runs, %d plan binds, overlay built %v)\n",
+			st.ProtocolRuns, st.HorizonRuns, st.PlanBinds, st.OverlayBuilt)
+	}
 }
 
-func rankExact(cfg drrgossip.Config, values []float64, q float64) float64 {
-	// Rank over surviving nodes: reuse the facade's crash model by
-	// counting via Exact on indicator values.
-	ind := agg.Indicator(values, q)
-	return drrgossip.Exact(cfg, "sum", ind)
+func parseEdges(spec string) ([]float64, error) {
+	parts := strings.Split(spec, ",")
+	edges := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad edge %q: %v", p, err)
+		}
+		edges = append(edges, v)
+	}
+	return edges, nil
 }
 
 func fail(err error) {

@@ -6,13 +6,36 @@
 // message-optimal.
 //
 // The package front-ends a discrete-event reproduction of the paper's
-// synchronous random phone call model: each call runs the full
+// synchronous random phone call model: every query runs the full
 // distributed protocol (distributed random ranking, per-tree convergecast,
 // root-level gossip, dissemination) on a simulated network and reports
 // the computed aggregate together with the round and message bill.
 //
+// # Sessions and queries
+//
+// The API is organised around a reusable session: New(cfg) validates the
+// configuration once, builds the overlay graph once and caches the fault
+// plan's bindings, and the returned Network then answers any number of
+// typed queries — mirroring the paper's economics, where one
+// preprocessing investment amortizes across aggregate computations:
+//
+//	net, err := drrgossip.New(drrgossip.Config{N: 10000, Seed: 1})
+//	avg, err := net.Run(drrgossip.AverageOf(values))
+//	// avg.Value ≈ mean(values); avg.Cost.Rounds = Θ(log n); avg.Cost.Messages = Θ(n loglog n)
+//	p99, err := net.Quantile(values, 0.99, 0.5) // ~log(range/tol) Rank runs, one session
+//
+// Every query answers with the same Answer shape (Value, PerNode,
+// Consensus, a Cost bill); Network.RunAll executes a batch against one
+// overlay/crash-set and additionally returns the aggregate bill, and
+// Network.RunContext supports cancellation between protocol runs.
+// Observers (Network.Observe) stream per-round progress — round, phase,
+// alive count, message counters, fault events — without perturbing the
+// run. The original one-shot helpers (Max, Average, Quantile, …) remain
+// as thin wrappers that build a single-use session per call,
+// bit-identical for the single-run aggregates (two deliberate fixes are
+// documented on Histogram and Moments):
+//
 //	res, err := drrgossip.Average(drrgossip.Config{N: 10000, Seed: 1}, values)
-//	// res.Value ≈ mean(values); res.Rounds = Θ(log n); res.Messages = Θ(n loglog n)
 //
 // # Topologies
 //
@@ -45,10 +68,8 @@ package drrgossip
 import (
 	"errors"
 	"fmt"
-	"math"
 	"strings"
 
-	"drrgossip/internal/agg"
 	"drrgossip/internal/chord"
 	core "drrgossip/internal/drrgossip"
 	"drrgossip/internal/faults"
@@ -193,12 +214,11 @@ type Result struct {
 // ErrBadConfig reports an invalid Config.
 var ErrBadConfig = errors.New("drrgossip: invalid config")
 
-func (c Config) validate(values []float64) error {
+// validate checks everything about the configuration that does not
+// depend on a query's values; checkValues covers the rest per query.
+func (c Config) validate() error {
 	if c.N < 2 {
 		return fmt.Errorf("%w: N must be >= 2, got %d", ErrBadConfig, c.N)
-	}
-	if len(values) != c.N {
-		return fmt.Errorf("%w: %d values for N=%d", ErrBadConfig, len(values), c.N)
 	}
 	if c.Loss < 0 || c.Loss >= 1 {
 		return fmt.Errorf("%w: Loss must be in [0,1)", ErrBadConfig)
@@ -217,6 +237,14 @@ func (c Config) validate(values []float64) error {
 	}
 	if err := overlay.Check(c.Topology.spec(), c.N); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return nil
+}
+
+// checkValues verifies a query's input length against the network size.
+func (c Config) checkValues(values []float64) error {
+	if len(values) != c.N {
+		return fmt.Errorf("%w: %d values for N=%d", ErrBadConfig, len(values), c.N)
 	}
 	return nil
 }
@@ -267,186 +295,109 @@ func ParseFaultPlan(text string) (*faults.Plan, error) {
 	return p, nil
 }
 
-// run dispatches one aggregate computation per the configured topology.
-// With a fault plan configured, plans that place events by horizon
-// fraction first execute the healthy run to measure its length (both
-// runs are deterministic in Seed, so the measured horizon is exact),
-// then re-execute with the bound plan attached to the engine.
-func (c Config) run(values []float64,
-	complete func(*sim.Engine) (*core.Result, error),
-	sparse func(*sim.Engine, overlay.Overlay) (*core.Result, error),
-) (*Result, error) {
-	if err := c.validate(values); err != nil {
+// One-shot helpers: the original pre-session entry points, kept as thin
+// wrappers that build a single-use Network per call. The single-run
+// aggregates (Max..Rank) are pinned bit-identical to their pre-session
+// behaviour by the facade goldens, with and without fault plans; the
+// two deliberate behaviour changes are called out on Histogram (open
+// bucket population under a fault plan) and Moments (fault plans now
+// apply). When running more than one aggregate against the same
+// configuration (dashboards, Quantile/Histogram-heavy workloads),
+// prefer New + the session methods, which amortize validation, overlay
+// construction and fault-horizon measurement across queries.
+
+// legacyRun executes one query through a single-use session and renders
+// the answer in the pre-session Result shape.
+func legacyRun(cfg Config, q Query) (*Result, error) {
+	nw, err := New(cfg)
+	if err != nil {
 		return nil, err
 	}
-	var ov overlay.Overlay
-	if !c.Topology.isComplete() {
-		var err error
-		if ov, err = c.buildOverlay(); err != nil {
-			return nil, err
-		}
-	}
-	exec := func(b *faults.Bound) (*Result, error) {
-		eng := c.engine()
-		if b != nil {
-			b.Attach(eng)
-		}
-		var res *core.Result
-		var err error
-		if ov == nil {
-			res, err = complete(eng)
-		} else {
-			res, err = sparse(eng, ov)
-		}
-		if err != nil {
-			return nil, err
-		}
-		out := wrap(eng, res)
-		if b != nil {
-			out.FaultEvents = b.Fired()
-			out.FaultCrashes = b.Crashed()
-			out.FaultRevives = b.Revived()
-		}
-		return out, nil
-	}
-	if c.Faults.Empty() {
-		return exec(nil)
-	}
-	horizon := 0
-	if c.Faults.NeedsHorizon() {
-		healthy, err := exec(nil)
-		if err != nil {
-			return nil, fmt.Errorf("drrgossip: horizon measurement run: %w", err)
-		}
-		horizon = healthy.Rounds
-	}
-	bound, err := c.Faults.Bind(c.N, c.Seed, horizon)
+	a, err := nw.Run(q)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		return nil, err
 	}
-	return exec(bound)
+	return a.result(), nil
 }
 
 // Max computes the global maximum with DRR-gossip-max (Algorithm 7).
 func Max(cfg Config, values []float64) (*Result, error) {
-	return cfg.run(values,
-		func(eng *sim.Engine) (*core.Result, error) {
-			return core.Max(eng, values, core.Options{})
-		},
-		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
-			return core.MaxSparse(eng, ov, values, core.SparseOptions{})
-		})
+	return legacyRun(cfg, MaxOf(values))
 }
 
 // Min computes the global minimum.
 func Min(cfg Config, values []float64) (*Result, error) {
-	return cfg.run(values,
-		func(eng *sim.Engine) (*core.Result, error) {
-			return core.Min(eng, values, core.Options{})
-		},
-		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
-			return core.MinSparse(eng, ov, values, core.SparseOptions{})
-		})
+	return legacyRun(cfg, MinOf(values))
 }
 
 // Average computes the global average with DRR-gossip-ave (Algorithm 8).
 func Average(cfg Config, values []float64) (*Result, error) {
-	return cfg.run(values,
-		func(eng *sim.Engine) (*core.Result, error) {
-			return core.Ave(eng, values, core.Options{})
-		},
-		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
-			return core.AveSparse(eng, ov, values, core.SparseOptions{})
-		})
+	return legacyRun(cfg, AverageOf(values))
 }
 
 // Sum computes the global sum (distinguished-root push-sum; on sparse
 // overlays the push-sum shares travel with reliable routed transport).
 func Sum(cfg Config, values []float64) (*Result, error) {
-	return cfg.run(values,
-		func(eng *sim.Engine) (*core.Result, error) {
-			return core.Sum(eng, values, core.Options{})
-		},
-		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
-			return core.SumSparse(eng, ov, values, core.SparseOptions{})
-		})
+	return legacyRun(cfg, SumOf(values))
 }
 
 // Count computes the number of surviving nodes.
 func Count(cfg Config, values []float64) (*Result, error) {
-	return cfg.run(values,
-		func(eng *sim.Engine) (*core.Result, error) {
-			return core.Count(eng, values, core.Options{})
-		},
-		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
-			return core.CountSparse(eng, ov, values, core.SparseOptions{})
-		})
+	return legacyRun(cfg, CountOf(values))
 }
 
 // Rank computes Rank(q) = |{alive i : values[i] <= q}|.
 func Rank(cfg Config, values []float64, q float64) (*Result, error) {
-	return cfg.run(values,
-		func(eng *sim.Engine) (*core.Result, error) {
-			return core.Rank(eng, values, q, core.Options{})
-		},
-		func(eng *sim.Engine, ov overlay.Overlay) (*core.Result, error) {
-			return core.RankSparse(eng, ov, values, q, core.SparseOptions{})
-		})
+	return legacyRun(cfg, RankOf(values, q))
 }
 
-// HistogramResult reports a distributed histogram computation.
+// HistogramResult reports a distributed histogram computation (the
+// legacy view of an OpHistogram Answer).
 type HistogramResult struct {
 	// Counts[i] is the number of surviving nodes with value in
 	// (edges[i], edges[i+1]]; Counts[0] covers (-inf, edges[0]] and
 	// Counts[len(edges)] covers (edges[len(edges)-1], +inf).
 	Counts []float64
-	// Runs, Rounds and Messages accumulate over the per-edge Rank runs.
+	// Runs, Rounds, Messages and Drops accumulate over the per-edge Rank
+	// runs, plus the open-bucket population Count run when a fault plan
+	// is active (so Runs is len(edges) without a plan, len(edges)+1
+	// with one).
 	Runs     int
 	Rounds   int
 	Messages int64
+	Drops    int64
 }
 
 // Histogram computes a k+1-bucket histogram of the values with one Rank
 // aggregation per bucket edge (edges must be strictly increasing) —
 // bounded messages throughout, O(k log n) rounds and O(k n loglog n)
-// messages total.
+// messages total. The single-use session underneath builds the overlay
+// and binds the fault plan once for all edges. With an active fault
+// plan the open last bucket's population is measured by an additional
+// Count run (billed in Runs) so the buckets stay consistent with the
+// Rank counts under mid-run membership changes; the pre-session
+// implementation read a static alive count there, which was wrong
+// whenever the plan crashed or revived nodes.
 func Histogram(cfg Config, values []float64, edges []float64) (*HistogramResult, error) {
-	if len(edges) == 0 {
-		return nil, fmt.Errorf("%w: Histogram needs at least one edge", ErrBadConfig)
+	nw, err := New(cfg)
+	if err != nil {
+		return nil, err
 	}
-	for i := 1; i < len(edges); i++ {
-		if edges[i] <= edges[i-1] {
-			return nil, fmt.Errorf("%w: histogram edges must be strictly increasing", ErrBadConfig)
-		}
+	a, err := nw.Histogram(values, edges)
+	if err != nil {
+		return nil, err
 	}
-	hr := &HistogramResult{Counts: make([]float64, len(edges)+1)}
-	cum := make([]float64, len(edges))
-	for i, edge := range edges {
-		// Every per-edge run uses cfg verbatim: the engine's crash set is
-		// derived from the seed, and all steps must count over the same
-		// surviving population or the bucket differences become
-		// inconsistent.
-		res, err := Rank(cfg, values, edge)
-		if err != nil {
-			return nil, fmt.Errorf("histogram edge %v: %w", edge, err)
-		}
-		cum[i] = math.Round(res.Value)
-		hr.Runs++
-		hr.Rounds += res.Rounds
-		hr.Messages += res.Messages
-	}
-	hr.Counts[0] = cum[0]
-	for i := 1; i < len(edges); i++ {
-		hr.Counts[i] = cum[i] - cum[i-1]
-	}
-	// Last (open) bucket: alive count minus everything below; take the
-	// alive count from the last Rank run's engine configuration.
-	alive := float64(cfg.engine().NumAlive())
-	hr.Counts[len(edges)] = alive - cum[len(edges)-1]
-	return hr, nil
+	return &HistogramResult{
+		Counts:   a.Counts,
+		Runs:     a.Cost.Runs,
+		Rounds:   a.Cost.Rounds,
+		Messages: a.Cost.Messages,
+		Drops:    a.Cost.Drops,
+	}, nil
 }
 
-// MomentsResult reports a mean-and-variance computation.
+// MomentsResult reports a mean-and-variance computation (the legacy
+// view of an OpMoments Answer).
 type MomentsResult struct {
 	// Mean and Variance are the consensus estimates (population
 	// variance); Std = sqrt(max(Variance, 0)).
@@ -458,30 +409,30 @@ type MomentsResult struct {
 
 // Moments computes the global mean and variance in a single protocol run
 // (a three-component extension of DRR-gossip-ave; Complete topology
-// only).
+// only). Config.Faults now applies to Moments like to every other
+// query — the pre-session implementation silently ignored the plan;
+// run it without a plan for the old behaviour.
 func Moments(cfg Config, values []float64) (*MomentsResult, error) {
-	if !cfg.Topology.isComplete() {
-		return nil, fmt.Errorf("%w: Moments is implemented on the Complete topology", ErrBadConfig)
-	}
-	if err := cfg.validate(values); err != nil {
+	nw, err := New(cfg)
+	if err != nil {
 		return nil, err
 	}
-	eng := cfg.engine()
-	res, err := core.Moments(eng, values, core.Options{})
+	a, err := nw.Moments(values)
 	if err != nil {
 		return nil, err
 	}
 	return &MomentsResult{
-		Mean:      res.Mean,
-		Variance:  res.Variance,
-		Std:       res.Std,
-		Consensus: res.Consensus,
-		Rounds:    res.Stats.Rounds,
-		Messages:  res.Stats.Messages,
+		Mean:      a.Mean,
+		Variance:  a.Variance,
+		Std:       a.Std,
+		Consensus: a.Consensus,
+		Rounds:    a.Cost.Rounds,
+		Messages:  a.Cost.Messages,
 	}, nil
 }
 
-// QuantileResult reports an approximate quantile computation.
+// QuantileResult reports an approximate quantile computation (the
+// legacy view of an OpQuantile Answer).
 type QuantileResult struct {
 	// Value approximates the φ-quantile within Tolerance of the value
 	// range.
@@ -489,90 +440,62 @@ type QuantileResult struct {
 	// Runs is the number of full aggregate computations performed
 	// (2 for Min/Max + Count + one Rank per bisection step).
 	Runs int
-	// Rounds and Messages accumulate over all runs.
+	// Rounds, Messages and Drops accumulate over all runs.
 	Rounds   int
 	Messages int64
+	Drops    int64
+	// Converged is false when the bisection hit its run cap before
+	// reaching the tolerance, so Value is a looser approximation.
+	Converged bool
 }
 
 // Quantile approximates the φ-quantile (0 < φ <= 1) by bisection over the
 // value range, spending one Rank computation per step — the paper's "Rank
 // etc." reduction, with O(log(range/tol)) aggregate rounds total. The
 // result is within tol of a true φ-quantile value; tol <= 0 picks
-// range/2^20.
+// range/2^20. The single-use session underneath builds the overlay and
+// binds the fault plan once per operation kind instead of once per
+// bisection step.
 func Quantile(cfg Config, values []float64, phi, tol float64) (*QuantileResult, error) {
-	if phi <= 0 || phi > 1 {
-		return nil, fmt.Errorf("%w: phi must be in (0,1]", ErrBadConfig)
-	}
-	qr := &QuantileResult{}
-	// Every step runs with cfg verbatim so all steps see the same crash
-	// set (the surviving population the quantile ranges over); repeating
-	// the protocol's randomness across steps is harmless.
-	step := func(kind string, f func(Config) (*Result, error)) (*Result, error) {
-		res, err := f(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("quantile %s step: %w", kind, err)
-		}
-		qr.Runs++
-		qr.Rounds += res.Rounds
-		qr.Messages += res.Messages
-		return res, nil
-	}
-	minRes, err := step("min", func(c Config) (*Result, error) { return Min(c, values) })
+	nw, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	maxRes, err := step("max", func(c Config) (*Result, error) { return Max(c, values) })
+	a, err := nw.Quantile(values, phi, tol)
 	if err != nil {
 		return nil, err
 	}
-	countRes, err := step("count", func(c Config) (*Result, error) { return Count(c, values) })
-	if err != nil {
-		return nil, err
-	}
-	target := math.Ceil(phi * math.Round(countRes.Value))
-	lo, hi := minRes.Value, maxRes.Value
-	if tol <= 0 {
-		tol = (hi - lo) / (1 << 20)
-	}
-	if tol <= 0 { // constant values
-		qr.Value = lo
-		return qr, nil
-	}
-	for hi-lo > tol && qr.Runs < 80 {
-		mid := lo + (hi-lo)/2
-		rankRes, err := step("rank", func(c Config) (*Result, error) { return Rank(c, values, mid) })
-		if err != nil {
-			return nil, err
-		}
-		if math.Round(rankRes.Value) >= target {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	qr.Value = hi
-	return qr, nil
+	return &QuantileResult{
+		Value:     a.Value,
+		Runs:      a.Cost.Runs,
+		Rounds:    a.Cost.Rounds,
+		Messages:  a.Cost.Messages,
+		Drops:     a.Cost.Drops,
+		Converged: a.Converged,
+	}, nil
+}
+
+// legacyKinds maps the Exact kind strings to query operations.
+var legacyKinds = map[string]Op{
+	"min": OpMin, "max": OpMax, "sum": OpSum, "count": OpCount, "average": OpAverage,
 }
 
 // Exact returns the reference value of an aggregate over the values that
 // survive cfg's crash model — what the protocol should converge to. Kind
 // is one of "min", "max", "sum", "count", "average"; it panics on other
-// kinds (use Rank/Quantile directly).
+// kinds or mismatched input.
+//
+// Deprecated: Exact panics on bad input. Use ExactOf (or Network.Exact)
+// with a typed query instead, which returns an error and additionally
+// covers "rank" and "quantile".
 func Exact(cfg Config, kind string, values []float64) float64 {
-	eng := cfg.engine()
-	alive := agg.Subset(values, eng.AliveIDs())
-	switch kind {
-	case "min":
-		return agg.Exact(agg.Min, alive, 0)
-	case "max":
-		return agg.Exact(agg.Max, alive, 0)
-	case "sum":
-		return agg.Exact(agg.Sum, alive, 0)
-	case "count":
-		return agg.Exact(agg.Count, alive, 0)
-	case "average":
-		return agg.Exact(agg.Average, alive, 0)
-	default:
+	op, ok := legacyKinds[kind]
+	if !ok {
 		panic("drrgossip: unknown aggregate kind " + kind)
 	}
+	v, err := ExactOf(cfg, Query{Op: op, Values: values})
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -1,0 +1,91 @@
+// Queries: the session API end to end — one reusable drrgossip.Network
+// answers a dashboard-style batch of typed queries (extrema, average,
+// two quantiles, a histogram) over a Chord overlay while a fault plan
+// churns the membership, with a per-round Observer streaming live
+// progress. The point of the session: the overlay is built once and the
+// fault plan is measured/bound once per operation kind, no matter how
+// many Rank steps the quantiles and the histogram spend.
+//
+//	go run ./examples/queries
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"drrgossip"
+	"drrgossip/internal/agg"
+)
+
+func main() {
+	const n = 1024
+	plan, err := drrgossip.ParseFaultPlan("crash:0.1@0.5;rejoin@0.9")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := drrgossip.Config{N: n, Seed: 7, Topology: drrgossip.Chord, Faults: plan}
+
+	// Per-node metric: request latencies, uniform in [0, 500) ms.
+	latency := agg.GenUniform(n, 0, 500, 11)
+
+	net, err := drrgossip.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Live progress: one line every 2000 simulated rounds. Observers are
+	// read-only — results are bit-identical with or without them.
+	net.Observe(drrgossip.ObserverFunc(func(ri drrgossip.RoundInfo) {
+		if ri.Round%2000 == 0 {
+			fmt.Printf("  … run %2d round %6d [%-9s] alive %4d, %7d msgs, %d fault events\n",
+				ri.Run, ri.Round, ri.Phase, ri.Alive, ri.Messages, ri.FaultEvents)
+		}
+	}))
+
+	fmt.Printf("latency dashboard over %d nodes (chord overlay, faults %s)\n\n", n, plan)
+	batch := []drrgossip.Query{
+		drrgossip.MaxOf(latency),
+		drrgossip.MinOf(latency),
+		drrgossip.AverageOf(latency),
+		drrgossip.QuantileOf(latency, 0.50, 1.0),
+		drrgossip.QuantileOf(latency, 0.99, 1.0),
+		drrgossip.HistogramOf(latency, []float64{100, 200, 300, 400}),
+	}
+	answers, bill, err := net.RunAll(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nquery           answer                                     runs  rounds  msgs/node")
+	fmt.Println("---------------------------------------------------------------------------------")
+	for i, a := range answers {
+		var rendered string
+		switch a.Op {
+		case drrgossip.OpQuantile:
+			rendered = fmt.Sprintf("p%02.0f ≈ %.1f ms (converged %v)", batch[i].Arg*100, a.Value, a.Converged)
+		case drrgossip.OpHistogram:
+			rendered = fmt.Sprintf("buckets %v", trim(a.Counts))
+		default:
+			rendered = fmt.Sprintf("%.2f ms (consensus %v)", a.Value, a.Consensus)
+		}
+		fmt.Printf("%-15s %-42s %4d  %6d  %9.1f\n",
+			a.Op, rendered, a.Cost.Runs, a.Cost.Rounds, float64(a.Cost.Messages)/n)
+	}
+
+	st := net.Stats()
+	fmt.Printf("\nbatch bill: %d protocol runs, %d rounds, %.1f msgs/node, %d drops\n",
+		bill.Runs, bill.Rounds, float64(bill.Messages)/n, bill.Drops)
+	fmt.Printf("session:    %d queries, %d protocol runs total, %d horizon pre-runs, %d plan binds, overlay built once: %v\n",
+		st.Queries, st.ProtocolRuns, st.HorizonRuns, st.PlanBinds, st.OverlayBuilt)
+	fmt.Printf("exact p99 for reference: %.1f ms\n", agg.Quantile(latency, 0.99))
+}
+
+// trim rounds bucket counts for display.
+func trim(xs []float64) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(math.Round(x))
+	}
+	return out
+}

@@ -35,6 +35,16 @@ type Options struct {
 	AveRounds    int // Gossip-ave iterations (0 = default)
 }
 
+// Phase labels the pipelines record on the engine (sim.SetPhase) as they
+// progress, so per-round observers can attribute time to the paper's
+// phases. Observability only — no protocol logic reads them.
+const (
+	PhaseDRR       = "drr"       // Phase I: (Local-)DRR forest building
+	PhaseAggregate = "aggregate" // Phase II: convergecast + root-address broadcast
+	PhaseGossip    = "gossip"    // Phase III: root-level gossip (max/ave/spread)
+	PhaseBroadcast = "broadcast" // final dissemination down the trees
+)
+
 // PhaseStats breaks the run's cost into the paper's phases.
 type PhaseStats struct {
 	DRR       sim.Counters // Phase I
@@ -107,6 +117,7 @@ func maxPipeline(eng *sim.Engine, values []float64, opts Options, negate bool) (
 	var ph PhaseStats
 
 	// Phase I: DRR.
+	eng.SetPhase(PhaseDRR)
 	dres, err := drr.Run(eng, opts.DRR)
 	if err != nil {
 		return nil, err
@@ -118,6 +129,7 @@ func maxPipeline(eng *sim.Engine, values []float64, opts Options, negate bool) (
 	}
 
 	// Phase II: convergecast-max + root-address broadcast.
+	eng.SetPhase(PhaseAggregate)
 	covmax, c1, err := convergecast.Max(eng, f, work, opts.Convergecast)
 	if err != nil {
 		return nil, err
@@ -129,6 +141,7 @@ func maxPipeline(eng *sim.Engine, values []float64, opts Options, negate bool) (
 	ph.Aggregate = addCounters(c1, c2)
 
 	// Phase III: gossip-max among roots.
+	eng.SetPhase(PhaseGossip)
 	gres, err := gossip.Max(eng, f, rootTo, covmax, opts.Gossip)
 	if err != nil {
 		return nil, err
@@ -136,6 +149,7 @@ func maxPipeline(eng *sim.Engine, values []float64, opts Options, negate bool) (
 	ph.Gossip = gres.Stats
 
 	// Final dissemination down the trees.
+	eng.SetPhase(PhaseBroadcast)
 	perNode, c3, err := convergecast.BroadcastValue(eng, f, gres.Estimates, opts.Convergecast)
 	if err != nil {
 		return nil, err
@@ -264,6 +278,7 @@ func avePipeline(eng *sim.Engine, values []float64, opts Options, mode pushMode)
 	var ph PhaseStats
 
 	// Phase I: DRR.
+	eng.SetPhase(PhaseDRR)
 	dres, err := drr.Run(eng, opts.DRR)
 	if err != nil {
 		return nil, err
@@ -275,6 +290,7 @@ func avePipeline(eng *sim.Engine, values []float64, opts Options, mode pushMode)
 	}
 
 	// Phase II: convergecast-sum + root-address broadcast.
+	eng.SetPhase(PhaseAggregate)
 	covsum, c1, err := convergecast.Sum(eng, f, values, opts.Convergecast)
 	if err != nil {
 		return nil, err
@@ -287,6 +303,7 @@ func avePipeline(eng *sim.Engine, values []float64, opts Options, mode pushMode)
 
 	// Phase III(a): Gossip-max on (tree size, root id) keys elects the
 	// largest-tree root z; every root learns the winning key, hence z.
+	eng.SetPhase(PhaseGossip)
 	keys := make(map[int]float64, f.NumTrees())
 	for r, sc := range covsum {
 		keys[r] = largestKey(int(sc.Count), r)
@@ -335,6 +352,7 @@ func avePipeline(eng *sim.Engine, values []float64, opts Options, mode pushMode)
 	ph.Gossip = addCounters(addCounters(kres.Stats, ares.Stats), sres.Stats)
 
 	// Final dissemination down the trees.
+	eng.SetPhase(PhaseBroadcast)
 	perNode, c3, err := convergecast.BroadcastValue(eng, f, sres.Estimates, opts.Convergecast)
 	if err != nil {
 		return nil, err

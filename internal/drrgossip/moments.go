@@ -38,6 +38,7 @@ func Moments(eng *sim.Engine, values []float64, opts Options) (*MomentsResult, e
 	}
 	runStart := eng.Stats()
 
+	eng.SetPhase(PhaseDRR)
 	dres, err := drr.Run(eng, opts.DRR)
 	if err != nil {
 		return nil, err
@@ -46,6 +47,7 @@ func Moments(eng *sim.Engine, values []float64, opts Options) (*MomentsResult, e
 	if f.NumTrees() == 0 {
 		return nil, ErrNoNodes
 	}
+	eng.SetPhase(PhaseAggregate)
 	cov, _, err := convergecast.Moments(eng, f, values, opts.Convergecast)
 	if err != nil {
 		return nil, err
@@ -60,6 +62,7 @@ func Moments(eng *sim.Engine, values []float64, opts Options) (*MomentsResult, e
 	for r, mv := range cov {
 		keys[r] = largestKey(int(mv.Count), r)
 	}
+	eng.SetPhase(PhaseGossip)
 	kres, err := gossip.Max(eng, f, rootTo, keys, opts.Gossip)
 	if err != nil {
 		return nil, err
@@ -89,6 +92,7 @@ func Moments(eng *sim.Engine, values []float64, opts Options) (*MomentsResult, e
 	if err != nil {
 		return nil, err
 	}
+	eng.SetPhase(PhaseBroadcast)
 	perMean, _, err := convergecast.BroadcastValue(eng, f, sMean.Estimates, opts.Convergecast)
 	if err != nil {
 		return nil, err

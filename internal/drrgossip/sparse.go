@@ -143,11 +143,13 @@ func sparsePhase12(eng *sim.Engine, ov overlay.Overlay, opts SparseOptions) (*fo
 		return nil, nil, nil, fmt.Errorf("drrgossip: overlay %s has %d nodes, engine %d", ov.Name(), ov.Graph().N(), eng.N())
 	}
 	var ph PhaseStats
+	eng.SetPhase(PhaseDRR)
 	ldres, err := localdrr.Run(eng, ov.Graph(), opts.LocalDRR)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	ph.DRR = ldres.Stats
+	eng.SetPhase(PhaseAggregate)
 	rootTo, c, err := convergecast.BroadcastRootAddr(eng, ldres.Forest, opts.Convergecast)
 	if err != nil {
 		return nil, nil, nil, err
@@ -318,12 +320,14 @@ func MaxSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, opts Spars
 	ph.Aggregate = addCounters(ph.Aggregate, c)
 
 	before := eng.Stats()
+	eng.SetPhase(PhaseGossip)
 	est, err := sparseGossipMax(eng, ov, f, covmax, opts)
 	if err != nil {
 		return nil, err
 	}
 	ph.Gossip = eng.Stats().Sub(before)
 
+	eng.SetPhase(PhaseBroadcast)
 	perNode, c3, err := convergecast.BroadcastValue(eng, f, est, opts.Convergecast)
 	if err != nil {
 		return nil, err
@@ -389,6 +393,7 @@ func avePipelineSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, op
 	ph.Aggregate = addCounters(ph.Aggregate, c)
 
 	before := eng.Stats()
+	eng.SetPhase(PhaseGossip)
 	keys := make(map[int]float64, f.NumTrees())
 	for r, sc := range covsum {
 		keys[r] = largestKey(int(sc.Count), r)
@@ -430,6 +435,7 @@ func avePipelineSparse(eng *sim.Engine, ov overlay.Overlay, values []float64, op
 	}
 	ph.Gossip = eng.Stats().Sub(before)
 
+	eng.SetPhase(PhaseBroadcast)
 	perNode, c3, err := convergecast.BroadcastValue(eng, f, sest, opts.Convergecast)
 	if err != nil {
 		return nil, err

@@ -11,8 +11,11 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
+
+	"drrgossip"
 )
 
 // Config parameterises an experiment run.
@@ -31,6 +34,25 @@ type Config struct {
 	// termination + bounded error. FT1 sweeps its own scenario catalog
 	// and ignores this.
 	FaultSpec string
+	// Progress, when non-nil, receives live per-round progress lines from
+	// the experiments that run through the session API (FT1, QB1), via a
+	// drrgossip.Observer. Nil keeps runs silent.
+	Progress io.Writer
+}
+
+// progressObserver returns a throttled observer streaming one line per
+// `every` rounds to cfg.Progress, or nil when progress is off.
+func (c Config) progressObserver(label string, every int) drrgossip.Observer {
+	if c.Progress == nil {
+		return nil
+	}
+	w := c.Progress
+	return drrgossip.ObserverFunc(func(ri drrgossip.RoundInfo) {
+		if ri.Round%every == 0 {
+			fmt.Fprintf(w, "%s: run %d round %d [%s] alive %d msgs %d faults %d\n",
+				label, ri.Run, ri.Round, ri.Phase, ri.Alive, ri.Messages, ri.FaultEvents)
+		}
+	})
 }
 
 func (c Config) trials(def int) int {
@@ -129,6 +151,7 @@ func Registry() []Experiment {
 		{"F12", "Theorem 15: the address-oblivious Ω(n log n) separation", RunF12},
 		{"OV1", "Overlay sweep: Section 4 pipeline on pluggable topologies", RunOV1},
 		{"FT1", "Fault injection: aggregates under churn, partitions and loss bursts", RunFT1},
+		{"QB1", "Session amortization: batched queries reuse overlay and fault horizon", RunQB1},
 		{"A1", "Ablation: DRR probe budget", RunA1},
 		{"A2", "Ablation: message-loss sweep", RunA2},
 		{"A3", "Ablation: clusterhead heuristic bootstrap cost", RunA3},

@@ -33,7 +33,7 @@ func runAndCheck(t *testing.T, id string) *Report {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "OV1", "FT1", "A1", "A2", "A3"}
+	want := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "OV1", "FT1", "QB1", "A1", "A2", "A3"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
@@ -81,6 +81,7 @@ func TestF10(t *testing.T) { runAndCheck(t, "F10") }
 func TestF11(t *testing.T) { runAndCheck(t, "F11") }
 func TestF12(t *testing.T) { runAndCheck(t, "F12") }
 func TestFT1(t *testing.T) { runAndCheck(t, "FT1") }
+func TestQB1(t *testing.T) { runAndCheck(t, "QB1") }
 func TestA1(t *testing.T)  { runAndCheck(t, "A1") }
 func TestA2(t *testing.T)  { runAndCheck(t, "A2") }
 func TestA3(t *testing.T)  { runAndCheck(t, "A3") }

@@ -70,20 +70,28 @@ func RunFT1(cfg Config) (*Report, error) {
 					N: n, Seed: cfg.Seed + uint64(trial)*7919,
 					Topology: topo, Faults: plan,
 				}
-				ares, err := drrgossip.Average(fc, values)
+				// One session per (scenario, topology, trial): the overlay
+				// and the per-op fault bindings are shared by the batch, and
+				// each aggregate keeps its own horizon (a crash at 50% of
+				// the run means 50% of *that aggregate's* run).
+				net, err := drrgossip.New(fc)
 				if err != nil {
-					return nil, fmt.Errorf("FT1 %s/%s average: %w", spec, topo, err)
+					return nil, fmt.Errorf("FT1 %s/%s: %w", spec, topo, err)
 				}
-				sres, err := drrgossip.Sum(fc, values)
+				if obs := cfg.progressObserver(fmt.Sprintf("FT1 %s/%s", spec, topo), 500); obs != nil {
+					net.Observe(obs)
+				}
+				answers, bill, err := net.RunAll([]drrgossip.Query{
+					drrgossip.AverageOf(values),
+					drrgossip.SumOf(values),
+					drrgossip.MaxOf(values),
+				})
 				if err != nil {
-					return nil, fmt.Errorf("FT1 %s/%s sum: %w", spec, topo, err)
+					return nil, fmt.Errorf("FT1 %s/%s: %w", spec, topo, err)
 				}
-				mres, err := drrgossip.Max(fc, values)
-				if err != nil {
-					return nil, fmt.Errorf("FT1 %s/%s max: %w", spec, topo, err)
-				}
-				for _, r := range []*drrgossip.Result{ares, sres, mres} {
-					if math.IsNaN(r.Value) || math.IsInf(r.Value, 0) {
+				ares, sres, mres := answers[0], answers[1], answers[2]
+				for _, a := range answers {
+					if math.IsNaN(a.Value) || math.IsInf(a.Value, 0) {
 						allFinite = false
 						failures = append(failures, fmt.Sprintf("%s/%s:nonfinite", spec, topo))
 					}
@@ -91,8 +99,8 @@ func RunFT1(cfg Config) (*Report, error) {
 				aveErr += agg.RelError(ares.Value, wantAve)
 				sumErr += agg.RelError(sres.Value, wantSum)
 				maxErr += agg.RelError(mres.Value, wantMax)
-				msgs += float64(ares.Messages+sres.Messages+mres.Messages) / 3
-				rounds += float64(ares.Rounds+sres.Rounds+mres.Rounds) / 3
+				msgs += float64(bill.Messages) / 3
+				rounds += float64(bill.Rounds) / 3
 				alive += float64(ares.Alive)
 				crashes += float64(ares.FaultCrashes)
 			}

@@ -44,19 +44,22 @@ type action struct {
 }
 
 // Bound is a plan resolved against a concrete (n, seed, horizon): a
-// deterministic per-round schedule of engine state changes. Attach it to
-// exactly one engine; a Bound is single-use and not safe for concurrent
-// engines.
+// deterministic per-round schedule of engine state changes. Attach binds
+// it to an engine; re-attaching to a fresh engine resets the runtime
+// state and replays the identical schedule, so one binding can drive a
+// sequence of runs (the session facade's amortization). A Bound drives
+// one engine at a time and is not safe for concurrent engines.
 type Bound struct {
 	n       int
-	actions map[int][]action
+	actions map[int][]action // the immutable schedule Bind resolved
 
-	eng     *sim.Engine
-	bursts  map[int]float64   // active loss bursts
-	parts   map[int][]int     // active partitions: handle -> group ids
-	severed map[[2]int]int    // severed link -> refcount
-	flaky   map[int]flakyArea // active flaky regions
-	down    []int             // per-node crash-hold refcount: overlapping
+	eng       *sim.Engine
+	remaining map[int][]action  // this attachment's not-yet-fired rounds
+	bursts    map[int]float64   // active loss bursts
+	parts     map[int][]int     // active partitions: handle -> group ids
+	severed   map[[2]int]int    // severed link -> refcount
+	flaky     map[int]flakyArea // active flaky regions
+	down      []int             // per-node crash-hold refcount: overlapping
 	// crash windows must all expire before an auto-revive brings the
 	// node back (a user Rejoin clears every hold instead)
 	fired   int
@@ -225,12 +228,24 @@ func orient(a, b int) [2]int {
 // Attach installs the schedule on the engine: round-0 actions apply
 // immediately (the static initial-crash special case), the rest fire
 // from the engine's round hook. Attach overwrites any previously
-// installed round hook or link fault.
+// installed round hook or link fault on the engine, and resets the
+// Bound's own runtime state (active windows, crash holds, counters), so
+// the same binding replays its exact schedule on every engine it is
+// attached to — equal (plan, n, seed, horizon) stay bit-deterministic
+// across attachments.
 func (b *Bound) Attach(eng *sim.Engine) {
-	if b.eng != nil {
-		panic("faults: Bound attached twice")
-	}
 	b.eng = eng
+	b.remaining = make(map[int][]action, len(b.actions))
+	for r, acts := range b.actions {
+		b.remaining[r] = acts
+	}
+	b.bursts = make(map[int]float64)
+	b.parts = make(map[int][]int)
+	b.severed = make(map[[2]int]int)
+	b.flaky = make(map[int]flakyArea)
+	b.down = make([]int, b.n)
+	b.fired, b.crashed, b.revived = 0, 0, 0
+	b.recompose()
 	eng.SetLinkFault(b.linkFault)
 	eng.SetRoundHook(b.onRound)
 	b.onRound(0)
@@ -256,7 +271,7 @@ func (b *Bound) Rounds() []int {
 
 // onRound applies the actions scheduled for the given round.
 func (b *Bound) onRound(round int) {
-	acts, ok := b.actions[round]
+	acts, ok := b.remaining[round]
 	if !ok {
 		return
 	}
@@ -344,7 +359,7 @@ func (b *Bound) onRound(round int) {
 			delete(b.flaky, a.id)
 		}
 	}
-	delete(b.actions, round)
+	delete(b.remaining, round)
 	b.recompose()
 }
 

@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+// The round observer is a read-only tap: it fires once per Tick with the
+// new round number, sees the round fully formed (hook applied, messages
+// delivered), and never makes the engine Faulty.
+func TestRoundObserver(t *testing.T) {
+	e := NewEngine(4, Options{Seed: 1})
+	var rounds []int
+	var alives []int
+	e.SetRoundObserver(func(round int) {
+		rounds = append(rounds, round)
+		alives = append(alives, e.NumAlive())
+	})
+	if e.Faulty() {
+		t.Fatal("observer must not make the engine faulty")
+	}
+	e.SetRoundHook(func(round int) {
+		if round == 2 {
+			e.Crash(3)
+		}
+	})
+	for i := 0; i < 3; i++ {
+		e.Tick()
+	}
+	if len(rounds) != 3 || rounds[0] != 1 || rounds[2] != 3 {
+		t.Fatalf("observer rounds = %v", rounds)
+	}
+	// The hook crashes node 3 at the top of round 2; the observer runs at
+	// the end of the same Tick and must already see it.
+	if alives[0] != 4 || alives[1] != 3 || alives[2] != 3 {
+		t.Fatalf("observer alive counts = %v", alives)
+	}
+	e.SetRoundObserver(nil)
+	e.Tick()
+	if len(rounds) != 3 {
+		t.Fatal("removed observer still fired")
+	}
+}
+
+// SetPhase is plain observability state.
+func TestPhaseLabel(t *testing.T) {
+	e := NewEngine(2, Options{Seed: 1})
+	if e.Phase() != "" {
+		t.Fatalf("fresh engine phase %q", e.Phase())
+	}
+	e.SetPhase("gossip")
+	if e.Phase() != "gossip" {
+		t.Fatalf("phase = %q", e.Phase())
+	}
+}

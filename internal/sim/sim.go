@@ -128,6 +128,8 @@ type Engine struct {
 
 	linkFault LinkFault       // nil = all links healthy
 	roundHook func(round int) // runs at the top of every Tick
+	observer  func(round int) // read-only per-round tap, runs at the end of Tick
+	phase     string          // protocol-reported phase label (observability only)
 }
 
 // NewEngine creates an engine for n nodes. n must be at least 1.
@@ -223,9 +225,29 @@ func (e *Engine) SetLinkFault(f LinkFault) { e.linkFault = f }
 // crashed by the hook at round r never sees its round-r deliveries.
 func (e *Engine) SetRoundHook(h func(round int)) { e.roundHook = h }
 
+// SetRoundObserver installs (or, with nil, removes) a read-only tap
+// invoked at the end of every Tick with the round just formed — after
+// the round hook has applied any fault actions and the round's messages
+// have been filed into inboxes. Observers exist for progress streaming
+// and metrics: they are deliberately separate from SetRoundHook so that
+// installing one does not flip Faulty() (which would change protocol
+// degradation behaviour) and cannot perturb the run.
+func (e *Engine) SetRoundObserver(f func(round int)) { e.observer = f }
+
+// SetPhase records the protocol phase label ("drr", "gossip", …) the
+// run is currently in. It is pure observability — protocols update it as
+// they move through their pipeline so round observers can report where
+// the time goes; the engine itself never reads it.
+func (e *Engine) SetPhase(p string) { e.phase = p }
+
+// Phase returns the label last recorded with SetPhase ("" before the
+// first phase).
+func (e *Engine) Phase() string { return e.phase }
+
 // Faulty reports whether a fault regime is installed (a round hook or a
 // link fault). Protocols use it to degrade gracefully — returning
-// partial results where the static model would fail fast.
+// partial results where the static model would fail fast. A round
+// observer alone does not make the engine faulty.
 func (e *Engine) Faulty() bool { return e.roundHook != nil || e.linkFault != nil }
 
 // InitialCrashSet returns the node ids NewEngine(n, opts) crashes
@@ -318,6 +340,9 @@ func (e *Engine) Tick() {
 			}
 		}
 		delete(e.pending, e.c.Rounds)
+	}
+	if e.observer != nil {
+		e.observer(e.c.Rounds)
 	}
 }
 

@@ -1,0 +1,559 @@
+// The session facade: a Network is a reusable handle on one simulated
+// network. The paper's headline economics — one preprocessing investment
+// amortized across many aggregate computations — used to be invisible in
+// this package's API: every one-shot call re-validated the Config,
+// rebuilt the overlay graph and re-measured the fault-plan horizon from
+// scratch. New(cfg) does each of those exactly once; the typed queries
+// of query.go then run against the standing session, so a Quantile
+// (up to ~80 bisection Rank steps) or a Histogram (one Rank per edge)
+// pays O(build + steps) instead of O(steps × build).
+
+package drrgossip
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	core "drrgossip/internal/drrgossip"
+	"drrgossip/internal/faults"
+	"drrgossip/internal/overlay"
+	"drrgossip/internal/sim"
+)
+
+// overlayBuilds counts overlay constructions process-wide. Test
+// instrumentation only: the session tests assert that a Network builds
+// its overlay exactly once no matter how many queries run against it.
+var overlayBuilds atomic.Int64
+
+// RoundInfo is the per-round snapshot streamed to Observers: which
+// protocol run of the session is executing, how far it is, and the
+// engine's live accounting at the end of that round.
+type RoundInfo struct {
+	// Run numbers the protocol runs of the session (1-based, counting
+	// horizon-measurement pre-runs too).
+	Run int
+	// Round is the run's current round.
+	Round int
+	// Phase is the protocol phase label ("drr", "aggregate", "gossip",
+	// "broadcast") the run reported for this round.
+	Phase string
+	// Alive is the number of live nodes at the end of the round.
+	Alive int
+	// Messages and Drops are the run's cumulative counters so far.
+	Messages int64
+	Drops    int64
+	// FaultEvents is the number of fault-plan actions applied so far in
+	// this run (0 without a plan).
+	FaultEvents int
+}
+
+// Observer receives one callback per simulated round. Observers are
+// read-only taps: they cannot perturb the run, and installing one leaves
+// every result and counter bit-identical. OnRound is called from the
+// engine's sequential round loop — keep it fast (it is on the hot path)
+// and do not call back into the Network from it.
+type Observer interface {
+	OnRound(RoundInfo)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(RoundInfo)
+
+// OnRound calls f.
+func (f ObserverFunc) OnRound(ri RoundInfo) { f(ri) }
+
+// SessionStats is the session-level accounting a Network keeps on top of
+// per-query Cost: the work New amortizes across queries.
+type SessionStats struct {
+	// Queries counts the top-level queries run against the session.
+	Queries int
+	// ProtocolRuns counts full protocol executions, including composite
+	// sub-runs and horizon-measurement pre-runs.
+	ProtocolRuns int
+	// HorizonRuns counts horizon-measurement pre-runs (at most one per
+	// distinct Op for plans with fractional timings; 0 otherwise).
+	HorizonRuns int
+	// PlanBinds counts fault-plan bindings (at most one per distinct Op).
+	PlanBinds int
+	// OverlayBuilt reports whether the session built a sparse overlay
+	// (always exactly once, at New).
+	OverlayBuilt bool
+}
+
+// Network is a reusable session on one simulated network: New validates
+// the Config once, builds the sparse overlay once, and lazily measures
+// the fault-plan horizon and binds the plan once per operation kind —
+// after which every query reuses the standing state. Queries themselves
+// stay independent: each protocol run starts from a fresh engine seeded
+// by Config.Seed, so a Network's answers are bit-identical to one-shot
+// runs and identical across repeated calls (determinism is per-run, not
+// per-session).
+//
+// A Network is not safe for concurrent use; run queries sequentially.
+type Network struct {
+	cfg Config
+	ov  overlay.Overlay // nil on the Complete topology
+
+	// bounds caches the fault plan resolved per operation kind: the
+	// horizon (total healthy rounds) differs between the max- and
+	// ave-pipelines, so fractional event timings resolve per Op — but
+	// only once per Op, where the one-shot facade re-measured per call.
+	bounds map[Op]*faults.Bound
+
+	observers []Observer
+
+	queries     int
+	protoRuns   int
+	horizonRuns int
+	planBinds   int
+}
+
+// New validates cfg and builds the session: the overlay graph is
+// constructed here (and never again), fault plans are checked, and the
+// returned Network is ready to answer queries.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nw := &Network{cfg: cfg, bounds: make(map[Op]*faults.Bound)}
+	if !cfg.Topology.isComplete() {
+		ov, err := cfg.buildOverlay()
+		if err != nil {
+			return nil, err
+		}
+		nw.ov = ov
+		overlayBuilds.Add(1)
+	}
+	return nw, nil
+}
+
+// Config returns the configuration the session was built with.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Observe registers an observer for every subsequent protocol round of
+// the session and returns the Network for chaining. Observers stack.
+func (nw *Network) Observe(o Observer) *Network {
+	if o != nil {
+		nw.observers = append(nw.observers, o)
+	}
+	return nw
+}
+
+// Stats returns the session's amortization accounting.
+func (nw *Network) Stats() SessionStats {
+	return SessionStats{
+		Queries:      nw.queries,
+		ProtocolRuns: nw.protoRuns,
+		HorizonRuns:  nw.horizonRuns,
+		PlanBinds:    nw.planBinds,
+		OverlayBuilt: nw.ov != nil,
+	}
+}
+
+// Exact returns the reference value the query should converge to over
+// this session's surviving population (see ExactOf).
+func (nw *Network) Exact(q Query) (float64, error) { return ExactOf(nw.cfg, q) }
+
+// Run executes one query against the session.
+func (nw *Network) Run(q Query) (*Answer, error) { return nw.RunContext(context.Background(), q) }
+
+// RunContext is Run with cancellation: the context is checked before
+// every protocol run, so composite queries (Quantile bisection,
+// Histogram edges) stop between steps. A run already in flight is not
+// interrupted mid-protocol.
+func (nw *Network) RunContext(ctx context.Context, q Query) (*Answer, error) {
+	nw.queries++
+	switch q.Op {
+	case OpMax, OpMin, OpSum, OpCount, OpAverage, OpRank, OpMoments:
+		return nw.aggregate(ctx, q)
+	case OpQuantile:
+		return nw.quantile(ctx, q.Values, q.Arg, q.Tol)
+	case OpHistogram:
+		return nw.histogram(ctx, q.Values, q.Edges)
+	default:
+		return nil, fmt.Errorf("%w: unknown query op %s (use the XxxOf constructors)", ErrBadConfig, q.Op)
+	}
+}
+
+// RunAll executes a batch of queries against the session — one overlay,
+// one crash-set, one fault binding per operation kind — and returns the
+// per-query answers together with the batch's aggregate bill.
+func (nw *Network) RunAll(queries []Query) ([]*Answer, Cost, error) {
+	return nw.RunAllContext(context.Background(), queries)
+}
+
+// RunAllContext is RunAll with cancellation (see RunContext). On error
+// the answers completed so far are returned alongside it.
+func (nw *Network) RunAllContext(ctx context.Context, queries []Query) ([]*Answer, Cost, error) {
+	answers := make([]*Answer, 0, len(queries))
+	var total Cost
+	for i, q := range queries {
+		a, err := nw.RunContext(ctx, q)
+		if err != nil {
+			return answers, total, fmt.Errorf("query %d (%s): %w", i, q.Op, err)
+		}
+		answers = append(answers, a)
+		total = total.Add(a.Cost)
+	}
+	return answers, total, nil
+}
+
+// Max computes the global maximum (DRR-gossip-max, Algorithm 7).
+func (nw *Network) Max(values []float64) (*Answer, error) { return nw.Run(MaxOf(values)) }
+
+// Min computes the global minimum.
+func (nw *Network) Min(values []float64) (*Answer, error) { return nw.Run(MinOf(values)) }
+
+// Sum computes the global sum (distinguished-root push-sum).
+func (nw *Network) Sum(values []float64) (*Answer, error) { return nw.Run(SumOf(values)) }
+
+// Count computes the number of surviving nodes.
+func (nw *Network) Count(values []float64) (*Answer, error) { return nw.Run(CountOf(values)) }
+
+// Average computes the global average (DRR-gossip-ave, Algorithm 8).
+func (nw *Network) Average(values []float64) (*Answer, error) { return nw.Run(AverageOf(values)) }
+
+// Rank computes Rank(q) = |{alive i : values[i] <= q}|.
+func (nw *Network) Rank(values []float64, q float64) (*Answer, error) {
+	return nw.Run(RankOf(values, q))
+}
+
+// Moments computes mean and variance in one run (Complete only).
+func (nw *Network) Moments(values []float64) (*Answer, error) { return nw.Run(MomentsOf(values)) }
+
+// Quantile approximates the φ-quantile by Rank bisection (the paper's
+// "Rank etc." reduction); see QuantileOf.
+func (nw *Network) Quantile(values []float64, phi, tol float64) (*Answer, error) {
+	return nw.Run(QuantileOf(values, phi, tol))
+}
+
+// Histogram computes len(edges)+1 bucket counts with one Rank run per
+// edge, plus one Count run for the open bucket's population when a
+// fault plan is active; see HistogramOf.
+func (nw *Network) Histogram(values []float64, edges []float64) (*Answer, error) {
+	return nw.Run(HistogramOf(values, edges))
+}
+
+// ---- execution machinery ----
+
+// protoOut is one protocol run's output: the facade-level result, plus
+// the richer moments result when the run was an OpMoments pipeline.
+type protoOut struct {
+	res *core.Result
+	mom *core.MomentsResult
+}
+
+// protoFunc executes one full protocol run on a fresh engine.
+type protoFunc func(eng *sim.Engine, ov overlay.Overlay) (protoOut, error)
+
+// dispatch selects the dense or sparse pipeline for op.
+func dispatch(op Op, values []float64, arg float64) protoFunc {
+	return func(eng *sim.Engine, ov overlay.Overlay) (protoOut, error) {
+		var r *core.Result
+		var err error
+		switch {
+		case op == OpMoments:
+			m, merr := core.Moments(eng, values, core.Options{})
+			return protoOut{mom: m}, merr
+		case ov == nil:
+			switch op {
+			case OpMax:
+				r, err = core.Max(eng, values, core.Options{})
+			case OpMin:
+				r, err = core.Min(eng, values, core.Options{})
+			case OpSum:
+				r, err = core.Sum(eng, values, core.Options{})
+			case OpCount:
+				r, err = core.Count(eng, values, core.Options{})
+			case OpAverage:
+				r, err = core.Ave(eng, values, core.Options{})
+			case OpRank:
+				r, err = core.Rank(eng, values, arg, core.Options{})
+			default:
+				return protoOut{}, fmt.Errorf("%w: %s has no single-run protocol", ErrBadConfig, op)
+			}
+		default:
+			switch op {
+			case OpMax:
+				r, err = core.MaxSparse(eng, ov, values, core.SparseOptions{})
+			case OpMin:
+				r, err = core.MinSparse(eng, ov, values, core.SparseOptions{})
+			case OpSum:
+				r, err = core.SumSparse(eng, ov, values, core.SparseOptions{})
+			case OpCount:
+				r, err = core.CountSparse(eng, ov, values, core.SparseOptions{})
+			case OpAverage:
+				r, err = core.AveSparse(eng, ov, values, core.SparseOptions{})
+			case OpRank:
+				r, err = core.RankSparse(eng, ov, values, arg, core.SparseOptions{})
+			default:
+				return protoOut{}, fmt.Errorf("%w: %s has no single-run protocol", ErrBadConfig, op)
+			}
+		}
+		return protoOut{res: r}, err
+	}
+}
+
+// execOnce performs one protocol run on a fresh engine, attaching the
+// bound fault schedule (if any) and the session's observers.
+func (nw *Network) execOnce(b *faults.Bound, run protoFunc) (*Result, *core.MomentsResult, error) {
+	nw.protoRuns++
+	eng := nw.cfg.engine()
+	if len(nw.observers) > 0 {
+		runIdx := nw.protoRuns
+		eng.SetRoundObserver(func(round int) { nw.notify(runIdx, round, eng, b) })
+	}
+	if b != nil {
+		b.Attach(eng)
+	}
+	out, err := run(eng, nw.ov)
+	if err != nil {
+		return nil, nil, err
+	}
+	var res *Result
+	if out.mom != nil {
+		res = &Result{
+			Value:     out.mom.Mean,
+			PerNode:   out.mom.PerNodeMean,
+			Consensus: out.mom.Consensus,
+			Rounds:    out.mom.Stats.Rounds,
+			Messages:  out.mom.Stats.Messages,
+			Drops:     out.mom.Stats.Drops,
+			Alive:     eng.NumAlive(),
+		}
+	} else {
+		res = wrap(eng, out.res)
+	}
+	if b != nil {
+		res.FaultEvents = b.Fired()
+		res.FaultCrashes = b.Crashed()
+		res.FaultRevives = b.Revived()
+	}
+	return res, out.mom, nil
+}
+
+// execute runs op's protocol with the session's fault binding for that
+// operation kind, creating the binding on first use. Plans whose events
+// are placed by horizon fraction need the run's healthy length: the
+// first query of each Op kind executes one unfaulted pre-run to measure
+// it (both runs are deterministic in Seed, so the measured horizon is
+// exact); every later run of the same kind — every further Rank step of
+// a Quantile or Histogram — reuses the binding.
+func (nw *Network) execute(ctx context.Context, op Op, run protoFunc) (*Result, *core.MomentsResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if nw.cfg.Faults.Empty() {
+		return nw.execOnce(nil, run)
+	}
+	b, ok := nw.bounds[op]
+	if !ok {
+		horizon := 0
+		if nw.cfg.Faults.NeedsHorizon() {
+			healthy, _, err := nw.execOnce(nil, run)
+			if err != nil {
+				return nil, nil, fmt.Errorf("drrgossip: horizon measurement run: %w", err)
+			}
+			nw.horizonRuns++
+			horizon = healthy.Rounds
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		var err error
+		if b, err = nw.cfg.Faults.Bind(nw.cfg.N, nw.cfg.Seed, horizon); err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		nw.planBinds++
+		nw.bounds[op] = b
+	}
+	return nw.execOnce(b, run)
+}
+
+// notify fans a round snapshot out to the observers.
+func (nw *Network) notify(run, round int, eng *sim.Engine, b *faults.Bound) {
+	st := eng.Stats()
+	ri := RoundInfo{
+		Run:      run,
+		Round:    round,
+		Phase:    eng.Phase(),
+		Alive:    eng.NumAlive(),
+		Messages: st.Messages,
+		Drops:    st.Drops,
+	}
+	if b != nil {
+		ri.FaultEvents = b.Fired()
+	}
+	for _, o := range nw.observers {
+		o.OnRound(ri)
+	}
+}
+
+// aggregate answers the single-run operations (OpMax..OpRank, OpMoments).
+func (nw *Network) aggregate(ctx context.Context, q Query) (*Answer, error) {
+	if err := nw.cfg.checkValues(q.Values); err != nil {
+		return nil, err
+	}
+	if q.Op == OpMoments && !nw.cfg.Topology.isComplete() {
+		return nil, fmt.Errorf("%w: Moments is implemented on the Complete topology", ErrBadConfig)
+	}
+	res, mom, err := nw.execute(ctx, q.Op, dispatch(q.Op, q.Values, q.Arg))
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answer{
+		Op:           q.Op,
+		Value:        res.Value,
+		PerNode:      res.PerNode,
+		Consensus:    res.Consensus,
+		Cost:         Cost{Runs: 1, Rounds: res.Rounds, Messages: res.Messages, Drops: res.Drops},
+		Trees:        res.Trees,
+		Alive:        res.Alive,
+		FaultEvents:  res.FaultEvents,
+		FaultCrashes: res.FaultCrashes,
+		FaultRevives: res.FaultRevives,
+		Converged:    true,
+	}
+	if mom != nil {
+		ans.Mean, ans.Variance, ans.Std = mom.Mean, mom.Variance, mom.Std
+	}
+	return ans, nil
+}
+
+// quantile approximates the φ-quantile by bisection over the value
+// range, one Rank run per step. All steps run against the same session,
+// so the overlay and the per-Op fault bindings are reused throughout —
+// the amortization the session API exists for.
+func (nw *Network) quantile(ctx context.Context, values []float64, phi, tol float64) (*Answer, error) {
+	if phi <= 0 || phi > 1 {
+		return nil, fmt.Errorf("%w: phi must be in (0,1]", ErrBadConfig)
+	}
+	if err := nw.cfg.checkValues(values); err != nil {
+		return nil, err
+	}
+	ans := &Answer{Op: OpQuantile, Converged: true}
+	step := func(op Op, arg float64) (*Result, error) {
+		res, _, err := nw.execute(ctx, op, dispatch(op, values, arg))
+		if err != nil {
+			return nil, fmt.Errorf("quantile %s step: %w", op, err)
+		}
+		ans.Cost.Runs++
+		ans.Cost.Rounds += res.Rounds
+		ans.Cost.Messages += res.Messages
+		ans.Cost.Drops += res.Drops
+		ans.Alive = res.Alive
+		ans.FaultEvents, ans.FaultCrashes, ans.FaultRevives = res.FaultEvents, res.FaultCrashes, res.FaultRevives
+		return res, nil
+	}
+	minRes, err := step(OpMin, 0)
+	if err != nil {
+		return nil, err
+	}
+	maxRes, err := step(OpMax, 0)
+	if err != nil {
+		return nil, err
+	}
+	countRes, err := step(OpCount, 0)
+	if err != nil {
+		return nil, err
+	}
+	target := math.Ceil(phi * math.Round(countRes.Value))
+	lo, hi := minRes.Value, maxRes.Value
+	if tol <= 0 {
+		tol = (hi - lo) / (1 << 20)
+	}
+	if tol <= 0 { // constant values
+		ans.Value = lo
+		return ans, nil
+	}
+	for hi-lo > tol && ans.Cost.Runs < maxQuantileRuns {
+		mid := lo + (hi-lo)/2
+		rankRes, err := step(OpRank, mid)
+		if err != nil {
+			return nil, err
+		}
+		if math.Round(rankRes.Value) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	// The run cap can end the bisection before it reaches tol; that is a
+	// looser answer, so say so instead of silently returning it.
+	ans.Converged = hi-lo <= tol
+	ans.Value = hi
+	return ans, nil
+}
+
+// maxQuantileRuns caps the total aggregate runs a Quantile query may
+// spend (Min + Max + Count + bisection steps). A bisection stopped by
+// the cap reports Converged == false on its Answer.
+const maxQuantileRuns = 80
+
+// histogram computes the bucket counts with one Rank run per edge. Every
+// run reuses the session verbatim: the engine's crash set is derived
+// from the seed and the fault binding replays identically, so all steps
+// count over the same surviving population and the bucket differences
+// stay consistent.
+func (nw *Network) histogram(ctx context.Context, values, edges []float64) (*Answer, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("%w: Histogram needs at least one edge", ErrBadConfig)
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("%w: histogram edges must be strictly increasing", ErrBadConfig)
+		}
+	}
+	if err := nw.cfg.checkValues(values); err != nil {
+		return nil, err
+	}
+	ans := &Answer{Op: OpHistogram, Value: math.NaN(), Converged: true, Counts: make([]float64, len(edges)+1)}
+	cum := make([]float64, len(edges))
+	var last *Result
+	for i, edge := range edges {
+		res, _, err := nw.execute(ctx, OpRank, dispatch(OpRank, values, edge))
+		if err != nil {
+			return nil, fmt.Errorf("histogram edge %v: %w", edge, err)
+		}
+		cum[i] = math.Round(res.Value)
+		ans.Cost.Runs++
+		ans.Cost.Rounds += res.Rounds
+		ans.Cost.Messages += res.Messages
+		ans.Cost.Drops += res.Drops
+		last = res
+	}
+	ans.Counts[0] = cum[0]
+	for i := 1; i < len(edges); i++ {
+		ans.Counts[i] = cum[i] - cum[i-1]
+	}
+	// Last (open) bucket: the measured population minus everything below.
+	// In the static model the population is exactly the engine's alive
+	// count, which the final Rank run already reports. Under a fault plan
+	// the two diverge — a crash after Phase II banks the tree sums leaves
+	// the Rank counts at the pre-crash population while the end-of-run
+	// alive count is smaller (and a rejoin inflates it), which would push
+	// the open bucket negative. So with a plan active the population is
+	// measured with a Count run instead: Count rides the same pipeline
+	// dynamics as Rank (banked tree sizes), so it is consistent with the
+	// cumulative counts in every fault scenario, exactly as Quantile's
+	// bisection target is. The pre-session facade used a fresh *static*
+	// engine here, which was wrong whenever the plan changed membership.
+	total := float64(last.Alive)
+	if !nw.cfg.Faults.Empty() {
+		countRes, _, err := nw.execute(ctx, OpCount, dispatch(OpCount, values, 0))
+		if err != nil {
+			return nil, fmt.Errorf("histogram population count: %w", err)
+		}
+		ans.Cost.Runs++
+		ans.Cost.Rounds += countRes.Rounds
+		ans.Cost.Messages += countRes.Messages
+		ans.Cost.Drops += countRes.Drops
+		total = math.Round(countRes.Value)
+	}
+	ans.Alive = last.Alive
+	ans.FaultEvents, ans.FaultCrashes, ans.FaultRevives = last.FaultEvents, last.FaultCrashes, last.FaultRevives
+	ans.Counts[len(edges)] = total - cum[len(edges)-1]
+	return ans, nil
+}

@@ -1,0 +1,535 @@
+package drrgossip
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"drrgossip/internal/agg"
+	"drrgossip/internal/faults"
+)
+
+func mustPlan(t *testing.T, spec string) *faults.Plan {
+	t.Helper()
+	p, err := ParseFaultPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The equivalence bar of the session redesign: every old top-level
+// function must be bit-for-bit identical to the Network+Query path,
+// across dense and sparse topologies, with and without a dynamic fault
+// plan (the plan uses fractional timings, so the horizon-measurement
+// pre-run machinery is exercised on both paths).
+func TestOldEntryPointsBitIdenticalToSession(t *testing.T) {
+	const n = 144 // 12x12 torus
+	values := uniformValues(n, 71)
+	plans := map[string]*faults.Plan{
+		"static": nil,
+		"churn":  mustPlan(t, "crash:0.15@0.5;rejoin@0.9"),
+	}
+	type oldFn func(cfg Config) (*Result, error)
+	ops := []struct {
+		q   Query
+		old oldFn
+	}{
+		{MaxOf(values), func(cfg Config) (*Result, error) { return Max(cfg, values) }},
+		{MinOf(values), func(cfg Config) (*Result, error) { return Min(cfg, values) }},
+		{SumOf(values), func(cfg Config) (*Result, error) { return Sum(cfg, values) }},
+		{CountOf(values), func(cfg Config) (*Result, error) { return Count(cfg, values) }},
+		{AverageOf(values), func(cfg Config) (*Result, error) { return Average(cfg, values) }},
+		{RankOf(values, 500), func(cfg Config) (*Result, error) { return Rank(cfg, values, 500) }},
+	}
+	for _, topo := range []Topology{Complete, Chord, Torus} {
+		for planName, plan := range plans {
+			cfg := Config{N: n, Seed: 73, Topology: topo, Faults: plan}
+			nw, err := New(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: New: %v", topo, planName, err)
+			}
+			for _, op := range ops {
+				t.Run(topo.String()+"/"+planName+"/"+op.q.Op.String(), func(t *testing.T) {
+					want, err := op.old(cfg)
+					if err != nil {
+						t.Fatalf("old path: %v", err)
+					}
+					got, err := nw.Run(op.q)
+					if err != nil {
+						t.Fatalf("session path: %v", err)
+					}
+					if got.Value != want.Value || got.Cost.Rounds != want.Rounds ||
+						got.Cost.Messages != want.Messages || got.Cost.Drops != want.Drops ||
+						got.Alive != want.Alive || got.Consensus != want.Consensus ||
+						got.Trees != want.Trees || got.FaultEvents != want.FaultEvents ||
+						got.FaultCrashes != want.FaultCrashes || got.FaultRevives != want.FaultRevives {
+						t.Fatalf("session drifted from one-shot:\n old %+v\n new value=%v cost=%+v alive=%d consensus=%v trees=%d faults=%d/%d/%d",
+							want, got.Value, got.Cost, got.Alive, got.Consensus, got.Trees,
+							got.FaultEvents, got.FaultCrashes, got.FaultRevives)
+					}
+					for i := range want.PerNode {
+						a, b := got.PerNode[i], want.PerNode[i]
+						if a != b && !(a != a && b != b) { // NaN-safe
+							t.Fatalf("PerNode[%d] = %v, want %v", i, a, b)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// A session builds its overlay exactly once, and repeated queries are
+// deterministic: the second call sees the same messages and seed-derived
+// randomness as the first, and both match the one-shot path.
+func TestSessionReusesOneOverlay(t *testing.T) {
+	cfg := Config{N: 256, Seed: 75, Topology: Chord}
+	values := uniformValues(256, 76)
+
+	before := overlayBuilds.Load()
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := nw.Average(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.Average(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlayBuilds.Load()-before != 1 {
+		t.Fatalf("session built %d overlays, want 1", overlayBuilds.Load()-before)
+	}
+	if a.Value != b.Value || a.Cost != b.Cost {
+		t.Fatalf("repeat query drifted: %+v vs %+v", a, b)
+	}
+	oneShot, err := Average(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != oneShot.Value || a.Cost.Messages != oneShot.Messages {
+		t.Fatalf("session differs from one-shot: %v/%d vs %v/%d",
+			a.Value, a.Cost.Messages, oneShot.Value, oneShot.Messages)
+	}
+	if st := nw.Stats(); st.Queries != 2 || st.ProtocolRuns != 2 || !st.OverlayBuilt {
+		t.Fatalf("session stats off: %+v", st)
+	}
+}
+
+// The amortization acceptance bar: a composite query builds the overlay
+// and binds the fault plan once per call — one horizon pre-run and one
+// binding for all of Histogram's edges (and one per operation kind for
+// Quantile), instead of one per internal Rank step as before the
+// session redesign.
+func TestCompositeQueriesAmortizeSetup(t *testing.T) {
+	values := uniformValues(256, 78)
+	cfg := Config{N: 256, Seed: 77, Topology: Chord,
+		Faults: mustPlan(t, "crash:0.2@0.5")} // fractional timing: needs a horizon
+
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := nw.Histogram(values, []float64{200, 400, 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := nw.Stats()
+	// Two operation kinds: rank (shared by all three edges) and the count
+	// that measures the open bucket's population — not one per edge.
+	if st.HorizonRuns != 2 || st.PlanBinds != 2 {
+		t.Fatalf("histogram should measure and bind once per op kind: %+v", st)
+	}
+	if st.ProtocolRuns != 2+hist.Cost.Runs || hist.Cost.Runs != 4 {
+		t.Fatalf("histogram runs off: stats %+v, cost %+v", st, hist.Cost)
+	}
+
+	nw2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := nw2.Quantile(values, 0.5, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := nw2.Stats()
+	// Four operation kinds (min, max, count, rank) measure and bind once
+	// each; every further bisection step reuses the rank binding.
+	if st2.HorizonRuns != 4 || st2.PlanBinds != 4 {
+		t.Fatalf("quantile should bind once per op kind: %+v", st2)
+	}
+	if q.Cost.Runs <= 4 || st2.ProtocolRuns != 4+q.Cost.Runs {
+		t.Fatalf("quantile pre-run accounting off: stats %+v, cost %+v", st2, q.Cost)
+	}
+
+	// The legacy wrappers go through a single-use session, so a one-shot
+	// Histogram call also builds exactly one overlay.
+	before := overlayBuilds.Load()
+	if _, err := Histogram(cfg, values, []float64{200, 400, 600}); err != nil {
+		t.Fatal(err)
+	}
+	if got := overlayBuilds.Load() - before; got != 1 {
+		t.Fatalf("legacy Histogram built %d overlays, want 1", got)
+	}
+}
+
+// Satellite regression: Histogram's open last bucket must take its alive
+// count from the final Rank run (which reflects the fault plan's mid-run
+// crashes), not from a fresh static engine. With 30% of the nodes
+// crashing at round 3 — before Phase II banks any tree sums — every Rank
+// counts only survivors, so a static alive count would inflate the open
+// bucket by the crashed ~30%.
+func TestHistogramAliveUnderChurnPlan(t *testing.T) {
+	const n = 512
+	cfg := Config{N: n, Seed: 79, Faults: mustPlan(t, "crash:0.3@3r")}
+	values := uniformValues(n, 80) // uniform [0, 1000)
+	res, err := Histogram(cfg, values, []float64{250, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err2 := func() (*Answer, error) {
+		nw, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return nw.Histogram(values, []float64{250, 2000})
+	}()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if ans.Alive >= n || ans.Alive < n/2 {
+		t.Fatalf("final alive %d does not reflect the crash plan", ans.Alive)
+	}
+	// Every value is <= 2000, so the open bucket above the last edge must
+	// be (approximately) empty — under the old static-engine accounting it
+	// held the ~154 crashed nodes.
+	last := res.Counts[len(res.Counts)-1]
+	if math.Abs(last) > 2 {
+		t.Fatalf("open bucket = %v, want ~0 (static-alive regression)", last)
+	}
+	// The population (and hence the bucket total) is measured by a Count
+	// run riding the same dynamics as the ranks — billed as one extra run.
+	if res.Runs != 3 {
+		t.Fatalf("runs = %d, want 2 edges + 1 count", res.Runs)
+	}
+	total := 0.0
+	for _, c := range res.Counts {
+		total += c
+	}
+	if math.Abs(total-float64(ans.Alive)) > 2 {
+		t.Fatalf("bucket total %v inconsistent with surviving population %d", total, ans.Alive)
+	}
+}
+
+// The post-banking counterpart: when the plan crashes nodes *after*
+// Phase II has banked the tree sums, the Rank counts reflect the
+// pre-crash population. The open bucket must stay consistent with the
+// other buckets (non-negative) instead of subtracting the smaller
+// end-of-run alive count — the Count-run population makes that hold in
+// every fault scenario.
+func TestHistogramStaysNonNegativeUnderLateCrash(t *testing.T) {
+	const n = 256
+	cfg := Config{N: n, Seed: 95, Faults: mustPlan(t, "crash:0.5@0.5")}
+	values := uniformValues(n, 96) // uniform [0, 1000)
+	res, err := Histogram(cfg, values, []float64{500, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for b, c := range res.Counts {
+		if c < 0 {
+			t.Fatalf("negative bucket %d: %v (population inconsistent with rank counts)", b, c)
+		}
+		total += c
+	}
+	// All values sit below the last edge, so the open bucket is empty and
+	// the total is the banked (pre-crash) population, not the halved
+	// end-of-run alive count.
+	if last := res.Counts[len(res.Counts)-1]; math.Abs(last) > 2 {
+		t.Fatalf("open bucket = %v, want ~0", last)
+	}
+	if math.Abs(total-n) > 2 {
+		t.Fatalf("bucket total %v, want the banked population ~%d", total, n)
+	}
+}
+
+// Moments now participates in fault plans like every other query (the
+// pre-session implementation silently ignored Config.Faults).
+func TestMomentsAppliesFaultPlan(t *testing.T) {
+	const n = 512
+	cfg := Config{N: n, Seed: 97, Faults: mustPlan(t, "crash:0.2@0.5")}
+	values := uniformValues(n, 98)
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := nw.Moments(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(ans.Mean) || math.IsInf(ans.Mean, 0) || math.IsNaN(ans.Std) {
+		t.Fatalf("faulty moments not finite: %+v", ans)
+	}
+	if ans.FaultEvents == 0 || ans.FaultCrashes == 0 || ans.Alive >= n {
+		t.Fatalf("plan did not apply to moments: %+v", ans)
+	}
+	legacy, err := Moments(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Mean != ans.Mean || legacy.Variance != ans.Variance {
+		t.Fatalf("legacy wrapper diverged from session: %+v vs %+v", legacy, ans)
+	}
+}
+
+// Satellite: the bisection cap surfaces as Converged == false instead of
+// a silently looser value, and lossy runs accumulate Drops into the
+// composite cost totals.
+func TestQuantileConvergenceReporting(t *testing.T) {
+	const n = 128
+	cfg := Config{N: n, Seed: 81, Loss: 0.05}
+	values := uniformValues(n, 82)
+
+	ok, err := Quantile(cfg, values, 0.5, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok.Converged {
+		t.Fatalf("easy quantile did not converge: %+v", ok)
+	}
+	if ok.Drops == 0 {
+		t.Fatal("quantile cost did not accumulate Drops under loss")
+	}
+
+	// A tolerance far below float64 resolution can never be met: the
+	// bisection stalls at ulp scale and must hit the run cap.
+	capped, err := Quantile(cfg, values, 0.5, 1e-300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Converged {
+		t.Fatalf("impossible tolerance reported Converged: %+v", capped)
+	}
+	if capped.Runs != maxQuantileRuns {
+		t.Fatalf("cap hit at %d runs, want %d", capped.Runs, maxQuantileRuns)
+	}
+
+	hist, err := Histogram(cfg, values, []float64{300, 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Drops == 0 {
+		t.Fatal("histogram cost did not accumulate Drops under loss")
+	}
+}
+
+// RunAll executes a batch against one session and reports both per-query
+// answers and the aggregate bill.
+func TestRunAllBatch(t *testing.T) {
+	const n = 256
+	values := uniformValues(n, 84)
+	nw, err := New(Config{N: n, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Query{MaxOf(values), AverageOf(values), HistogramOf(values, []float64{500})}
+	answers, bill, err := nw.RunAll(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(batch) {
+		t.Fatalf("%d answers for %d queries", len(answers), len(batch))
+	}
+	var want Cost
+	for i, a := range answers {
+		if a.Op != batch[i].Op {
+			t.Fatalf("answer %d is %s, want %s", i, a.Op, batch[i].Op)
+		}
+		want = want.Add(a.Cost)
+	}
+	if bill != want {
+		t.Fatalf("aggregate bill %+v != summed costs %+v", bill, want)
+	}
+	if answers[0].Value != Exact(Config{N: n, Seed: 83}, "max", values) {
+		t.Fatalf("batched Max = %v", answers[0].Value)
+	}
+	if len(answers[2].Counts) != 2 {
+		t.Fatalf("batched histogram counts: %v", answers[2].Counts)
+	}
+}
+
+// RunContext stops composite queries between protocol runs once the
+// context is cancelled.
+func TestRunContextCancellation(t *testing.T) {
+	const n = 128
+	values := uniformValues(n, 86)
+	nw, err := New(Config{N: n, Seed: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := nw.RunContext(ctx, MaxOf(values)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run: %v, want context.Canceled", err)
+	}
+
+	// Cancel from an observer once the second protocol run starts: the
+	// quantile must stop after that run instead of finishing its ~12.
+	nw2, err := New(Config{N: n, Seed: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	nw2.Observe(ObserverFunc(func(ri RoundInfo) {
+		if ri.Run >= 2 {
+			cancel2()
+		}
+	}))
+	if _, err := nw2.RunContext(ctx2, QuantileOf(values, 0.5, 1.0)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-quantile cancel: %v, want context.Canceled", err)
+	}
+	if st := nw2.Stats(); st.ProtocolRuns > 3 {
+		t.Fatalf("cancellation did not stop the bisection: %+v", st)
+	}
+}
+
+// Observers stream every round with phase attribution and cannot perturb
+// the run.
+func TestObserverStreamsRounds(t *testing.T) {
+	const n = 256
+	values := uniformValues(n, 88)
+	cfg := Config{N: n, Seed: 87}
+
+	plain, err := Average(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []RoundInfo
+	nw.Observe(ObserverFunc(func(ri RoundInfo) { infos = append(infos, ri) }))
+	observed, err := nw.Average(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if observed.Value != plain.Value || observed.Cost.Messages != plain.Messages ||
+		observed.Cost.Rounds != plain.Rounds {
+		t.Fatalf("observer perturbed the run: %+v vs %+v", observed, plain)
+	}
+	if len(infos) != plain.Rounds {
+		t.Fatalf("observed %d rounds, run took %d", len(infos), plain.Rounds)
+	}
+	phases := map[string]bool{}
+	for i, ri := range infos {
+		if ri.Round != i+1 {
+			t.Fatalf("round %d reported as %d", i+1, ri.Round)
+		}
+		if ri.Run != 1 || ri.Alive != n {
+			t.Fatalf("bad round info: %+v", ri)
+		}
+		phases[ri.Phase] = true
+	}
+	for _, want := range []string{"drr", "aggregate", "gossip", "broadcast"} {
+		if !phases[want] {
+			t.Fatalf("phase %q never observed (saw %v)", want, phases)
+		}
+	}
+	// Messages sent in the final round are counted after the last Tick,
+	// so the last snapshot trails the final total by at most that round's
+	// sends — but never exceeds it.
+	if last := infos[len(infos)-1]; last.Messages == 0 || last.Messages > plain.Messages {
+		t.Fatalf("final observed messages %d out of range (run total %d)", last.Messages, plain.Messages)
+	}
+}
+
+// ExactOf is the error-returning replacement for the deprecated Exact:
+// it covers rank and quantile, and rejects unknown operations and
+// mismatched input instead of panicking.
+func TestExactOf(t *testing.T) {
+	const n = 128
+	cfg := Config{N: n, Seed: 89, CrashFraction: 0.2}
+	values := uniformValues(n, 90)
+
+	rank, err := ExactOf(cfg, RankOf(values, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := agg.Subset(values, cfg.engine().AliveIDs())
+	if want := agg.Exact(agg.Rank, alive, 400); rank != want {
+		t.Fatalf("ExactOf(rank) = %v, want %v", rank, want)
+	}
+	if q, err := ExactOf(cfg, QuantileOf(values, 0.5, 0)); err != nil || q != agg.Quantile(alive, 0.5) {
+		t.Fatalf("ExactOf(quantile) = %v, %v", q, err)
+	}
+	mx, err := ExactOf(cfg, MaxOf(values))
+	if err != nil || mx != Exact(cfg, "max", values) {
+		t.Fatalf("ExactOf(max) = %v, %v", mx, err)
+	}
+	if _, err := ExactOf(cfg, MomentsOf(values)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("moments should have no scalar reference: %v", err)
+	}
+	if _, err := ExactOf(cfg, Query{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero query accepted: %v", err)
+	}
+	if _, err := ExactOf(cfg, MaxOf(values[:10])); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("length mismatch accepted: %v", err)
+	}
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := nw.Exact(MaxOf(values)); err != nil || v != mx {
+		t.Fatalf("Network.Exact = %v, %v", v, err)
+	}
+}
+
+// Moments through the session carries the full answer (mean, variance,
+// std) and matches the legacy wrapper.
+func TestMomentsViaSession(t *testing.T) {
+	const n = 512
+	cfg := Config{N: n, Seed: 91}
+	values := uniformValues(n, 92)
+	legacy, err := Moments(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := nw.Moments(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Mean != legacy.Mean || ans.Variance != legacy.Variance || ans.Std != legacy.Std ||
+		ans.Value != legacy.Mean || ans.Cost.Messages != legacy.Messages {
+		t.Fatalf("session moments drifted: %+v vs %+v", ans, legacy)
+	}
+	if _, err := New(Config{N: n, Seed: 91, Topology: Chord}); err != nil {
+		t.Fatal(err)
+	} else if nw2, _ := New(Config{N: n, Seed: 91, Topology: Chord}); nw2 != nil {
+		if _, err := nw2.Moments(values); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("sparse moments accepted: %v", err)
+		}
+	}
+}
+
+// Unknown query operations are rejected, not misrouted.
+func TestUnknownOpRejected(t *testing.T) {
+	nw, err := New(Config{N: 16, Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Run(Query{Op: Op(99), Values: make([]float64, 16)}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown op: %v, want ErrBadConfig", err)
+	}
+}

@@ -1,0 +1,236 @@
+// Typed aggregate queries and their uniform answers — the request/response
+// vocabulary of the session API (see Network in network.go). A Query is a
+// plain value describing *what* to compute; the Network decides *how*
+// (topology, faults, horizon) and answers every query with the same
+// Answer shape, replacing the three divergent result structs of the
+// pre-session facade (Result, QuantileResult, HistogramResult — all of
+// which remain as thin legacy views).
+
+package drrgossip
+
+import (
+	"fmt"
+
+	"drrgossip/internal/agg"
+)
+
+// Op enumerates the aggregate operations a Query can request.
+type Op uint8
+
+const (
+	// OpMax and OpMin are the exact extrema (DRR-gossip-max, Algorithm 7).
+	OpMax Op = iota + 1
+	OpMin
+	// OpSum and OpCount are the distinguished-root push-sum variants.
+	OpSum
+	OpCount
+	// OpAverage is DRR-gossip-ave (Algorithm 8).
+	OpAverage
+	// OpRank is Rank(q) = |{alive i : values[i] <= q}|.
+	OpRank
+	// OpMoments computes mean and variance in one run (Complete only).
+	OpMoments
+	// OpQuantile approximates a φ-quantile by Rank bisection (composite:
+	// one Min, Max and Count run plus one Rank run per bisection step).
+	OpQuantile
+	// OpHistogram computes bucket counts with one Rank run per edge
+	// (composite).
+	OpHistogram
+)
+
+var opNames = map[Op]string{
+	OpMax: "max", OpMin: "min", OpSum: "sum", OpCount: "count",
+	OpAverage: "average", OpRank: "rank", OpMoments: "moments",
+	OpQuantile: "quantile", OpHistogram: "histogram",
+}
+
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// Query is a typed aggregate request: the operation, the per-node input
+// values, and the operation's parameters. Build queries with the XxxOf
+// constructors; a zero Query is invalid. Queries are plain values — they
+// carry no network state and can be reused across Networks.
+type Query struct {
+	// Op is the requested aggregate operation.
+	Op Op
+	// Values holds one input value per node (len(Values) must equal
+	// Config.N of the Network the query runs on).
+	Values []float64
+	// Arg is the operation parameter: the Rank threshold q, or the
+	// Quantile target φ. Unused otherwise.
+	Arg float64
+	// Tol is the Quantile bisection tolerance (<= 0 picks range/2^20).
+	Tol float64
+	// Edges are the Histogram bucket edges (strictly increasing).
+	Edges []float64
+}
+
+// MaxOf requests the global maximum of values.
+func MaxOf(values []float64) Query { return Query{Op: OpMax, Values: values} }
+
+// MinOf requests the global minimum of values.
+func MinOf(values []float64) Query { return Query{Op: OpMin, Values: values} }
+
+// SumOf requests the global sum of values.
+func SumOf(values []float64) Query { return Query{Op: OpSum, Values: values} }
+
+// CountOf requests the number of surviving nodes. The values are carried
+// for population consistency with the other queries of a batch.
+func CountOf(values []float64) Query { return Query{Op: OpCount, Values: values} }
+
+// AverageOf requests the global average of values.
+func AverageOf(values []float64) Query { return Query{Op: OpAverage, Values: values} }
+
+// RankOf requests Rank(q) = |{alive i : values[i] <= q}|.
+func RankOf(values []float64, q float64) Query { return Query{Op: OpRank, Values: values, Arg: q} }
+
+// MomentsOf requests mean and variance in a single protocol run
+// (Complete topology only).
+func MomentsOf(values []float64) Query { return Query{Op: OpMoments, Values: values} }
+
+// QuantileOf requests the φ-quantile (0 < φ <= 1) within tol of the
+// value range; tol <= 0 picks range/2^20.
+func QuantileOf(values []float64, phi, tol float64) Query {
+	return Query{Op: OpQuantile, Values: values, Arg: phi, Tol: tol}
+}
+
+// HistogramOf requests len(edges)+1 bucket counts: bucket i covers
+// (edges[i-1], edges[i]], with open first and last buckets.
+func HistogramOf(values []float64, edges []float64) Query {
+	return Query{Op: OpHistogram, Values: values, Edges: edges}
+}
+
+// Cost is the shared accounting every Answer carries: how many full
+// aggregate protocol runs the query spent (composite queries run many)
+// and their accumulated round, message and drop bill. Horizon-measurement
+// pre-runs (see Network) are session bookkeeping and are reported by
+// SessionStats, not billed to query Cost — matching the pre-session
+// facade's accounting.
+type Cost struct {
+	// Runs is the number of aggregate protocol runs billed to the query
+	// (1 for simple queries; Min+Max+Count+bisection steps for Quantile;
+	// one Rank per edge for Histogram).
+	Runs int
+	// Rounds, Messages and Drops accumulate over those runs.
+	Rounds   int
+	Messages int64
+	Drops    int64
+}
+
+// Add returns the element-wise total of two bills.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{
+		Runs:     c.Runs + o.Runs,
+		Rounds:   c.Rounds + o.Rounds,
+		Messages: c.Messages + o.Messages,
+		Drops:    c.Drops + o.Drops,
+	}
+}
+
+// Answer is the uniform response to any Query. Every answer carries the
+// consensus Value and the Cost bill; the remaining fields are filled
+// when the operation produces them:
+//
+//   - single-run aggregates (Max..Rank, Moments) fill PerNode, Consensus,
+//     Trees and the fault counters;
+//   - OpMoments additionally fills Mean/Variance/Std (Value = Mean and
+//     PerNode holds the per-node means);
+//   - OpQuantile fills Converged (false when the bisection hit its run
+//     cap before reaching Tol) and leaves PerNode nil;
+//   - OpHistogram fills Counts and leaves Value NaN.
+type Answer struct {
+	// Op echoes the operation the answer responds to.
+	Op Op
+	// Value is the network's consensus value (NaN for OpHistogram).
+	Value float64
+	// PerNode is each node's final value; NaN for crashed nodes. Nil for
+	// composite queries.
+	PerNode []float64
+	// Consensus reports whether all surviving nodes agree exactly
+	// (single-run queries only).
+	Consensus bool
+	// Cost is the query's accumulated protocol bill.
+	Cost Cost
+	// Trees is the number of DRR trees built in Phase I (last run).
+	Trees int
+	// Alive is the number of nodes alive when the (last) run ended; with
+	// an active fault plan this reflects mid-run crashes and rejoins.
+	Alive int
+	// FaultEvents/FaultCrashes/FaultRevives count the fault-plan actions
+	// applied during the (last) run; 0 without a plan.
+	FaultEvents  int
+	FaultCrashes int
+	FaultRevives int
+	// Mean, Variance and Std are filled by OpMoments.
+	Mean, Variance, Std float64
+	// Counts are the OpHistogram bucket counts (len(Edges)+1 buckets),
+	// measured over the population the protocol itself counted: the
+	// engine's surviving nodes in the static model, a dedicated Count run
+	// under a fault plan (consistent with the per-edge Rank counts even
+	// when membership changes mid-run, so buckets stay non-negative).
+	Counts []float64
+	// Converged is true when the answer met its tolerance; only
+	// OpQuantile can report false (bisection run cap reached first).
+	Converged bool
+}
+
+// result renders the answer as a legacy Result (the pre-session shape
+// the one-shot helpers return).
+func (a *Answer) result() *Result {
+	return &Result{
+		Value:        a.Value,
+		PerNode:      a.PerNode,
+		Consensus:    a.Consensus,
+		Rounds:       a.Cost.Rounds,
+		Messages:     a.Cost.Messages,
+		Drops:        a.Cost.Drops,
+		Trees:        a.Trees,
+		Alive:        a.Alive,
+		FaultEvents:  a.FaultEvents,
+		FaultCrashes: a.FaultCrashes,
+		FaultRevives: a.FaultRevives,
+	}
+}
+
+// ExactOf returns the reference value a Query should converge to: the
+// aggregate computed directly over the values that survive cfg's static
+// crash model. It supports every scalar operation (OpMax..OpRank and
+// OpQuantile, for which it returns the exact φ-quantile of the surviving
+// values); OpMoments and OpHistogram have no single reference value and
+// return an error, as do unknown operations. Unlike the deprecated
+// Exact, bad input yields an error instead of a panic.
+func ExactOf(cfg Config, q Query) (float64, error) {
+	if cfg.N < 2 {
+		return 0, fmt.Errorf("%w: N must be >= 2, got %d", ErrBadConfig, cfg.N)
+	}
+	if len(q.Values) != cfg.N {
+		return 0, fmt.Errorf("%w: %d values for N=%d", ErrBadConfig, len(q.Values), cfg.N)
+	}
+	alive := agg.Subset(q.Values, cfg.engine().AliveIDs())
+	switch q.Op {
+	case OpMin:
+		return agg.Exact(agg.Min, alive, 0), nil
+	case OpMax:
+		return agg.Exact(agg.Max, alive, 0), nil
+	case OpSum:
+		return agg.Exact(agg.Sum, alive, 0), nil
+	case OpCount:
+		return agg.Exact(agg.Count, alive, 0), nil
+	case OpAverage:
+		return agg.Exact(agg.Average, alive, 0), nil
+	case OpRank:
+		return agg.Exact(agg.Rank, alive, q.Arg), nil
+	case OpQuantile:
+		if q.Arg <= 0 || q.Arg > 1 {
+			return 0, fmt.Errorf("%w: phi must be in (0,1]", ErrBadConfig)
+		}
+		return agg.Quantile(alive, q.Arg), nil
+	default:
+		return 0, fmt.Errorf("%w: no scalar reference value for %s", ErrBadConfig, q.Op)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt fmt-check bench bench-smoke ci
+.PHONY: all build test test-short race vet fmt fmt-check bench bench-smoke bench-perf bench-guard ci
 
 all: ci
 
@@ -33,5 +33,16 @@ bench:
 # verdicts, writes BENCH_QB1.json for trajectory tracking.
 bench-smoke:
 	$(GO) run ./cmd/benchtab -experiment QB1 -quick -json
+
+# Engine hot-path benchmarks (BenchmarkPerf*): runs them with -benchmem
+# and writes BENCH_PERF.json (ns/op, allocs/op, msgs/node) so the perf
+# trajectory has a machine-readable baseline.
+bench-perf:
+	$(GO) test -run '^$$' -bench '^BenchmarkPerf' -benchmem -benchtime 30x . | $(GO) run ./cmd/perfjson -out BENCH_PERF.json
+
+# Regression guard: fails when allocs/op on the pinned engine benchmarks
+# regresses >20% against the checked-in BENCH_PERF_BASELINE.json.
+bench-guard: bench-perf
+	$(GO) run ./cmd/perfjson -check BENCH_PERF.json -baseline BENCH_PERF_BASELINE.json
 
 ci: build vet fmt-check test

@@ -358,6 +358,158 @@ func BenchmarkA3_ClusterheadHeuristic(b *testing.B) {
 	report(b, r.Stats.Rounds, r.Stats.Messages, benchN)
 }
 
+// --- perf: pinned engine hot-path benchmarks -----------------------------
+//
+// The BenchmarkPerf* family is the repo's performance baseline: `make
+// bench-perf` runs it with -benchmem and emits BENCH_PERF.json (ns/op,
+// allocs/op, msgs/node), and `make bench-guard` fails the build when
+// allocs/op regresses against the pinned BENCH_PERF_BASELINE.json. Each
+// iteration performs a fixed amount of protocol work so allocs/op is
+// comparable across machines.
+
+// BenchmarkPerfEngineSendTick measures the raw delivery loop: one round
+// of n direct sends plus the Tick that files them. Steady state is
+// allocation-free (ring slots and inboxes recycle their backing arrays).
+func BenchmarkPerfEngineSendTick(b *testing.B) {
+	const n = 1024
+	e := sim.NewEngine(n, sim.Options{Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < n; s++ {
+			e.Send(s, (s+1)%n, sim.Payload{X: int64(s)})
+		}
+		e.Tick()
+	}
+	b.ReportMetric(float64(e.Stats().Messages)/float64(b.N)/n, "msgs/node")
+}
+
+// BenchmarkPerfEngineSendLossy is SendTick with per-message loss hashing
+// engaged (the non-zero-δ path of attempt).
+func BenchmarkPerfEngineSendLossy(b *testing.B) {
+	const n = 1024
+	e := sim.NewEngine(n, sim.Options{Seed: 2, Loss: 0.1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < n; s++ {
+			e.Send(s, (s+1)%n, sim.Payload{})
+		}
+		e.Tick()
+	}
+}
+
+// BenchmarkPerfEngineRouted measures the routed transport (staggered
+// multi-round deliveries through the ring buffer).
+func BenchmarkPerfEngineRouted(b *testing.B) {
+	const n = 1024
+	e := sim.NewEngine(n, sim.Options{Seed: 3})
+	path := []int{7, 19, 83, 211}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 64; s++ {
+			e.SendRouted(s, path, sim.Payload{})
+		}
+		e.Tick()
+	}
+}
+
+// BenchmarkPerfEngineResolveCalls measures one synchronous call round
+// (the paper's phone-call primitive, the dense pipelines' hot path).
+func BenchmarkPerfEngineResolveCalls(b *testing.B) {
+	const n = 1024
+	e := sim.NewEngine(n, sim.Options{Seed: 4})
+	calls := make([]sim.Call, n)
+	for i := range calls {
+		calls[i] = sim.Call{Active: true, To: (i + 1) % n, Pay: sim.Payload{A: float64(i)}}
+	}
+	handle := func(callee, caller int, req sim.Payload) (sim.Payload, bool) {
+		return sim.Payload{A: req.A + 1}, true
+	}
+	var sink float64
+	reply := func(caller int, resp sim.Payload) { sink += resp.A }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ResolveCalls(calls, handle, reply)
+		e.Tick()
+	}
+	_ = sink
+}
+
+// BenchmarkPerfEngineReset measures run-to-run reuse: Reset must cost a
+// few memclears, not an engine rebuild.
+func BenchmarkPerfEngineReset(b *testing.B) {
+	const n = 4096
+	e := sim.NewEngine(n, sim.Options{Seed: 5, Loss: 0.05})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset(sim.Options{Seed: uint64(i), Loss: 0.05})
+	}
+}
+
+// BenchmarkPerfQuantileSession is the workload the engine reuse exists
+// for: a full Quantile query (Min + Max + Count + bisection Rank steps,
+// every run on the session's pooled engine).
+func BenchmarkPerfQuantileSession(b *testing.B) {
+	const n = 1024
+	values := benchValues(n)
+	var runs int
+	var msgs int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw, err := New(Config{N: n, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := nw.Quantile(values, 0.9, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs = a.Cost.Runs
+		msgs = a.Cost.Messages
+	}
+	b.ReportMetric(float64(runs), "runs")
+	b.ReportMetric(float64(msgs)/float64(n), "msgs/node")
+}
+
+// BenchmarkPerfRunAllBatch compares sequential and concurrent execution
+// of one query batch (answers are bit-identical; see the determinism
+// regression) — the wall-clock case for RunAll's opt-in parallelism.
+func BenchmarkPerfRunAllBatch(b *testing.B) {
+	const n = 2048
+	values := benchValues(n)
+	queries := []Query{
+		MaxOf(values), MinOf(values), SumOf(values), CountOf(values),
+		AverageOf(values), RankOf(values, 500),
+	}
+	// The worker count is pinned (not GOMAXPROCS) so allocs/op — which
+	// includes the per-worker engine and binding clones — is
+	// machine-independent and safe for the bench-guard baseline; the
+	// wall-clock benefit of the fan-out still shows wherever cores exist.
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 4}} {
+		b.Run(tc.name, func(b *testing.B) {
+			workers := tc.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nw, err := New(Config{N: n, Seed: uint64(i) + 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := nw.RunAll(queries, BatchOptions{Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- public API ----------------------------------------------------------
 
 func BenchmarkFacadeAverage(b *testing.B) {

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,7 +67,9 @@ func writeJSON(rep *experiments.Report, cfg experiments.Config, elapsed time.Dur
 	return nil
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		expFlag  = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
 		topoFlag = flag.String("topology", "", "run the overlay cost table over these comma-separated topology specs (or 'all') instead of the experiment registry")
@@ -76,6 +80,9 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "additionally write each report as machine-readable BENCH_<ID>.json")
 		faults   = flag.String("faults", "", `fault plan applied to supporting experiments (e.g. "crash:0.2@0.5"; see ParseFaultPlan)`)
 		progress = flag.Bool("progress", false, "stream live per-round progress from session-API experiments (FT1, QB1) to stderr")
+		workers  = flag.Int("workers", 0, "fan independent replications across this many workers (0 = GOMAXPROCS, 1 = sequential); reports are bit-identical for any value")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -83,10 +90,40 @@ func main() {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials, FaultSpec: *faults}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials, FaultSpec: *faults, Workers: *workers}
 	if *progress {
 		cfg.Progress = os.Stderr
 	}
@@ -104,7 +141,7 @@ func main() {
 		rep, err := experiments.RunOverlays(cfg, specs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: overlay sweep failed: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		elapsed := time.Since(start)
 		fmt.Println(rep.String())
@@ -112,13 +149,13 @@ func main() {
 		if *jsonOut {
 			if err := writeJSON(rep, cfg, elapsed); err != nil {
 				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if !rep.Passed() {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var selected []experiments.Experiment
@@ -129,7 +166,7 @@ func main() {
 			exp, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, exp)
 		}
@@ -159,6 +196,7 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchtab: %d experiment(s) had failing verdicts\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

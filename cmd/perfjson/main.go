@@ -1,0 +1,165 @@
+// Command perfjson converts `go test -bench` output into the
+// machine-readable BENCH_PERF.json that tracks the engine's performance
+// trajectory, and guards it against allocation regressions.
+//
+// Two modes:
+//
+//	go test -bench '^BenchmarkPerf' -benchmem . | go run ./cmd/perfjson -out BENCH_PERF.json
+//	go run ./cmd/perfjson -check BENCH_PERF.json -baseline BENCH_PERF_BASELINE.json
+//
+// The check mode compares allocs/op of every benchmark present in the
+// baseline and exits nonzero when one regresses by more than -max-regress
+// (default 20%, plus a small absolute slack so near-zero benchmarks do
+// not flap on harness noise). ns/op is reported but never guarded:
+// wall-clock depends on the machine, allocation counts do not.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit -> value (ns/op, allocs/op, msgs/node, ...)
+}
+
+// Report is the BENCH_PERF.json shape.
+type Report struct {
+	ID         string      `json:"id"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 { // strip the -GOMAXPROCS suffix
+		name = name[:i]
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates value / unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func convert(out string) error {
+	rep := Report{ID: "PERF"}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // stay transparent: the human-readable output passes through
+		if b, ok := parseBench(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s: %d benchmarks)\n", out, len(rep.Benchmarks))
+	return nil
+}
+
+func guard(current, baseline string, maxRegress, slack float64) error {
+	cur, err := readReport(current)
+	if err != nil {
+		return err
+	}
+	base, err := readReport(baseline)
+	if err != nil {
+		return err
+	}
+	curBy := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	failures := 0
+	for _, want := range base.Benchmarks {
+		baseAllocs, ok := want.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		got, ok := curBy[want.Name]
+		if !ok {
+			fmt.Printf("FAIL %s: pinned benchmark missing from %s\n", want.Name, current)
+			failures++
+			continue
+		}
+		allocs := got.Metrics["allocs/op"]
+		limit := baseAllocs*(1+maxRegress) + slack
+		if allocs > limit {
+			fmt.Printf("FAIL %s: allocs/op %.1f exceeds baseline %.1f by more than %.0f%% (+%.0f slack)\n",
+				want.Name, allocs, baseAllocs, maxRegress*100, slack)
+			failures++
+		} else {
+			fmt.Printf("ok   %s: allocs/op %.1f (baseline %.1f, limit %.1f)\n",
+				want.Name, allocs, baseAllocs, limit)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed", failures)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH_PERF.json", "output path (convert mode: stdin -> JSON)")
+		check      = flag.String("check", "", "guard mode: current BENCH_PERF.json to check")
+		baseline   = flag.String("baseline", "BENCH_PERF_BASELINE.json", "guard mode: pinned baseline")
+		maxRegress = flag.Float64("max-regress", 0.20, "guard mode: allowed fractional allocs/op regression")
+		slack      = flag.Float64("slack", 16, "guard mode: absolute allocs/op slack on top of the fraction")
+	)
+	flag.Parse()
+	var err error
+	if *check != "" {
+		err = guard(*check, *baseline, *maxRegress, *slack)
+	} else {
+		err = convert(*out)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfjson: %v\n", err)
+		os.Exit(1)
+	}
+}

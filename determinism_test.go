@@ -1,6 +1,7 @@
 package drrgossip
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -69,6 +70,78 @@ func TestDeterminismAcrossParallelForScheduling(t *testing.T) {
 						t.Fatalf("GOMAXPROCS=%d: perNode[%d] = %v vs %v", procs, i, a, b)
 					}
 				}
+			}
+		})
+	}
+}
+
+// RunAll's opt-in concurrency must return answers bit-identical to
+// sequential execution — for any worker count, any GOMAXPROCS, with and
+// without a fault plan, on dense and sparse topologies, including
+// composite queries (Quantile bisection, Histogram edges) whose fault
+// bindings are resolved up front and cloned per worker.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	const n = 256
+	values := uniformValues(n, 91)
+	churn, err := ParseFaultPlan("crash:0.2@0.5;rejoin@0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		MaxOf(values), MinOf(values), SumOf(values), CountOf(values),
+		AverageOf(values), RankOf(values, 500),
+		QuantileOf(values, 0.9, 5), HistogramOf(values, []float64{250, 500, 750}),
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"complete-static", Config{N: n, Seed: 92, Loss: 0.02}},
+		{"complete-faulty", Config{N: n, Seed: 93, Loss: 0.02, Faults: churn}},
+		{"chord-faulty", Config{N: n, Seed: 94, Topology: Chord, Faults: churn}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runBatch := func(procs, workers int) ([]*Answer, Cost) {
+				old := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(old)
+				nw, err := New(tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				answers, bill, err := nw.RunAll(queries, BatchOptions{Parallelism: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return answers, bill
+			}
+			seqAnswers, seqBill := runBatch(1, 1)
+			for _, procs := range []int{1, 2, 8} {
+				for _, workers := range []int{2, 4, len(queries) + 3} {
+					parAnswers, parBill := runBatch(procs, workers)
+					if parBill != seqBill {
+						t.Fatalf("GOMAXPROCS=%d workers=%d: bill %+v vs sequential %+v",
+							procs, workers, parBill, seqBill)
+					}
+					for i := range seqAnswers {
+						answersEqual(t, fmt.Sprintf("procs=%d workers=%d query %d (%s)",
+							procs, workers, i, queries[i].Op), seqAnswers[i], parAnswers[i])
+					}
+				}
+			}
+			// SessionStats parity: the parallel batch resolves the same
+			// bindings and pre-runs the sequential batch would.
+			seqNW, _ := New(tc.cfg)
+			if _, _, err := seqNW.RunAll(queries); err != nil {
+				t.Fatal(err)
+			}
+			parNW, _ := New(tc.cfg)
+			if _, _, err := parNW.RunAll(queries, BatchOptions{Parallelism: 4}); err != nil {
+				t.Fatal(err)
+			}
+			ss, ps := seqNW.Stats(), parNW.Stats()
+			if ss.HorizonRuns != ps.HorizonRuns || ss.PlanBinds != ps.PlanBinds ||
+				ss.Queries != ps.Queries || ss.ProtocolRuns != ps.ProtocolRuns {
+				t.Fatalf("session stats diverged: sequential %+v parallel %+v", ss, ps)
 			}
 		})
 	}

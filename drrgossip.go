@@ -249,8 +249,12 @@ func (c Config) checkValues(values []float64) error {
 	return nil
 }
 
+func (c Config) simOptions() sim.Options {
+	return sim.Options{Seed: c.Seed, Loss: c.Loss, CrashFrac: c.CrashFraction}
+}
+
 func (c Config) engine() *sim.Engine {
-	return sim.NewEngine(c.N, sim.Options{Seed: c.Seed, Loss: c.Loss, CrashFrac: c.CrashFraction})
+	return sim.NewEngine(c.N, c.simOptions())
 }
 
 // buildOverlay constructs the configured sparse overlay. Chord honours

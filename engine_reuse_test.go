@@ -1,0 +1,102 @@
+package drrgossip
+
+import (
+	"math"
+	"testing"
+)
+
+// sameFloat reports bitwise-equivalent results, treating NaN == NaN (a
+// Histogram's Value is NaN by contract; crashed nodes report NaN in
+// PerNode on both sides).
+func sameFloat(x, y float64) bool {
+	return x == y || (math.IsNaN(x) && math.IsNaN(y))
+}
+
+// answersEqual compares every deterministic field of two answers bitwise.
+func answersEqual(t *testing.T, label string, a, b *Answer) {
+	t.Helper()
+	if a.Op != b.Op || !sameFloat(a.Value, b.Value) || a.Consensus != b.Consensus ||
+		a.Cost != b.Cost || a.Trees != b.Trees || a.Alive != b.Alive ||
+		a.FaultEvents != b.FaultEvents || a.FaultCrashes != b.FaultCrashes ||
+		a.FaultRevives != b.FaultRevives || a.Converged != b.Converged ||
+		!sameFloat(a.Mean, b.Mean) || !sameFloat(a.Variance, b.Variance) ||
+		!sameFloat(a.Std, b.Std) {
+		t.Fatalf("%s: answers diverged:\n a %+v\n b %+v", label, a, b)
+	}
+	if len(a.PerNode) != len(b.PerNode) {
+		t.Fatalf("%s: PerNode lengths %d vs %d", label, len(a.PerNode), len(b.PerNode))
+	}
+	for i := range a.PerNode {
+		if !sameFloat(a.PerNode[i], b.PerNode[i]) {
+			t.Fatalf("%s: PerNode[%d] = %v vs %v", label, i, a.PerNode[i], b.PerNode[i])
+		}
+	}
+	if len(a.Counts) != len(b.Counts) {
+		t.Fatalf("%s: Counts lengths %d vs %d", label, len(a.Counts), len(b.Counts))
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatalf("%s: Counts[%d] = %v vs %v", label, i, a.Counts[i], b.Counts[i])
+		}
+	}
+}
+
+// The session's pooled engine (Engine.Reset between protocol runs) must
+// be bit-identical to building a fresh engine per run: repeating a query
+// on one session — where the second execution reuses the first's dirty
+// engine — must reproduce the first answer exactly, and both must match
+// a fresh session's answer. Swept across topologies and fault regimes
+// because those drive different engine machinery (calls vs routed sends,
+// static alive set vs mid-run churn).
+func TestEngineReuseBitIdenticalAcrossRuns(t *testing.T) {
+	plans := map[string]string{"static": "", "churn": "churn:0.3:25;loss:0.15@0.4..0.8"}
+	for _, tc := range []struct {
+		name string
+		topo Topology
+		n    int
+	}{
+		{"complete", Complete, 96},
+		{"chord", Chord, 96},
+		{"torus", Torus, 96},
+	} {
+		for planName, spec := range plans {
+			label := tc.name + "/" + planName
+			cfg := Config{N: tc.n, Seed: 77, Loss: 0.02, Topology: tc.topo}
+			if spec != "" {
+				plan, err := ParseFaultPlan(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Faults = plan
+			}
+			values := uniformValues(tc.n, 78)
+			queries := []Query{AverageOf(values), SumOf(values), MaxOf(values)}
+			session, err := New(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			for _, q := range queries {
+				first, err := session.Run(q)
+				if err != nil {
+					t.Fatalf("%s %s: %v", label, q.Op, err)
+				}
+				// Second run reuses the engine the first left dirty.
+				second, err := session.Run(q)
+				if err != nil {
+					t.Fatalf("%s %s rerun: %v", label, q.Op, err)
+				}
+				answersEqual(t, label+"/"+q.Op.String()+"/rerun", first, second)
+
+				freshSession, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := freshSession.Run(q)
+				if err != nil {
+					t.Fatalf("%s %s fresh: %v", label, q.Op, err)
+				}
+				answersEqual(t, label+"/"+q.Op.String()+"/fresh", first, fresh)
+			}
+		}
+	}
+}

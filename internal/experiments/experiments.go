@@ -38,6 +38,22 @@ type Config struct {
 	// the experiments that run through the session API (FT1, QB1), via a
 	// drrgossip.Observer. Nil keeps runs silent.
 	Progress io.Writer
+	// Workers caps the goroutines the sweeps fan independent replications
+	// across (0 = GOMAXPROCS, 1 = sequential). Reports are bit-identical
+	// for any value: every replication derives all randomness from its
+	// own seed and runs on its own engine, results land in slots indexed
+	// by replication, and reductions happen in deterministic order.
+	Workers int
+}
+
+// workers resolves the fan-out width. Live progress streaming forces
+// sequential execution: concurrent sessions would interleave their
+// per-round lines nondeterministically.
+func (c Config) workers() int {
+	if c.Progress != nil {
+		return 1
+	}
+	return c.Workers
 }
 
 // progressObserver returns a throttled observer streaming one line per

@@ -6,6 +6,7 @@ import (
 
 	"drrgossip"
 	"drrgossip/internal/agg"
+	"drrgossip/internal/sim"
 	"drrgossip/internal/tablefmt"
 )
 
@@ -64,8 +65,19 @@ func RunFT1(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("FT1 scenario %q: %w", spec, err)
 		}
 		for _, topo := range topologies {
-			var aveErr, sumErr, maxErr, msgs, rounds, alive, crashes float64
-			for trial := 0; trial < trials; trial++ {
+			// Trials are independent sessions: fan them across workers
+			// with one answer slot per trial and reduce in trial order, so
+			// the table is bit-identical for any worker count. (RunAll
+			// itself stays sequential inside a trial — the trial is the
+			// coarser, better-load-balanced unit.)
+			type trialOut struct {
+				answers []*drrgossip.Answer
+				bill    drrgossip.Cost
+				err     error
+			}
+			outs := make([]trialOut, trials)
+			sim.ForEachRun(trials, cfg.workers(), func(trial int) {
+				o := &outs[trial]
 				fc := drrgossip.Config{
 					N: n, Seed: cfg.Seed + uint64(trial)*7919,
 					Topology: topo, Faults: plan,
@@ -76,21 +88,28 @@ func RunFT1(cfg Config) (*Report, error) {
 				// the run means 50% of *that aggregate's* run).
 				net, err := drrgossip.New(fc)
 				if err != nil {
-					return nil, fmt.Errorf("FT1 %s/%s: %w", spec, topo, err)
+					o.err = fmt.Errorf("FT1 %s/%s: %w", spec, topo, err)
+					return
 				}
 				if obs := cfg.progressObserver(fmt.Sprintf("FT1 %s/%s", spec, topo), 500); obs != nil {
 					net.Observe(obs)
 				}
-				answers, bill, err := net.RunAll([]drrgossip.Query{
+				o.answers, o.bill, o.err = net.RunAll([]drrgossip.Query{
 					drrgossip.AverageOf(values),
 					drrgossip.SumOf(values),
 					drrgossip.MaxOf(values),
 				})
-				if err != nil {
-					return nil, fmt.Errorf("FT1 %s/%s: %w", spec, topo, err)
+				if o.err != nil {
+					o.err = fmt.Errorf("FT1 %s/%s: %w", spec, topo, o.err)
 				}
-				ares, sres, mres := answers[0], answers[1], answers[2]
-				for _, a := range answers {
+			})
+			var aveErr, sumErr, maxErr, msgs, rounds, alive, crashes float64
+			for _, o := range outs {
+				if o.err != nil {
+					return nil, o.err
+				}
+				ares, sres, mres := o.answers[0], o.answers[1], o.answers[2]
+				for _, a := range o.answers {
 					if math.IsNaN(a.Value) || math.IsInf(a.Value, 0) {
 						allFinite = false
 						failures = append(failures, fmt.Sprintf("%s/%s:nonfinite", spec, topo))
@@ -99,8 +118,8 @@ func RunFT1(cfg Config) (*Report, error) {
 				aveErr += agg.RelError(ares.Value, wantAve)
 				sumErr += agg.RelError(sres.Value, wantSum)
 				maxErr += agg.RelError(mres.Value, wantMax)
-				msgs += float64(bill.Messages) / 3
-				rounds += float64(bill.Rounds) / 3
+				msgs += float64(o.bill.Messages) / 3
+				rounds += float64(o.bill.Rounds) / 3
 				alive += float64(ares.Alive)
 				crashes += float64(ares.FaultCrashes)
 			}

@@ -55,83 +55,92 @@ func runOverlaysHealthy(cfg Config, specs []string) (*Report, error) {
 		"max rnds", "max msg/n", "ave rnds", "ave msg/n", "sum msg/n")
 	rep := &Report{ID: "OV1", Title: "Overlay sweep: Section 4 pipeline on pluggable topologies"}
 
-	exactOK, aveOK, sumOK, treesOK := true, true, true, true
-	var failures []string
-	for _, text := range specs {
+	// Each spec's three pipeline runs are independent of every other
+	// spec's: fan the sweep across workers with one result slot per spec,
+	// then render rows and verdicts in spec order — the report is
+	// bit-identical for any worker count.
+	type specOut struct {
+		mres, ares, sres *drrgossip.Result
+		edges            any // "-" for complete, edge count otherwise
+		harmonicVal      float64
+		sparse           bool
+		name             string
+		err              error
+	}
+	outs := make([]specOut, len(specs))
+	sim.ForEachRun(len(specs), cfg.workers(), func(k int) {
+		o := &outs[k]
+		text := specs[k]
 		if strings.EqualFold(strings.TrimSpace(text), "complete") {
-			mres, err := drrgossip.Max(sim.NewEngine(n, sim.Options{Seed: cfg.Seed}), values, drrgossip.Options{})
-			if err != nil {
-				return nil, err
+			o.name, o.edges = "complete", "-"
+			if o.mres, o.err = drrgossip.Max(sim.NewEngine(n, sim.Options{Seed: cfg.Seed}), values, drrgossip.Options{}); o.err != nil {
+				return
 			}
-			ares, err := drrgossip.Ave(sim.NewEngine(n, sim.Options{Seed: cfg.Seed + 1}), values, drrgossip.Options{})
-			if err != nil {
-				return nil, err
+			if o.ares, o.err = drrgossip.Ave(sim.NewEngine(n, sim.Options{Seed: cfg.Seed + 1}), values, drrgossip.Options{}); o.err != nil {
+				return
 			}
-			sres, err := drrgossip.Sum(sim.NewEngine(n, sim.Options{Seed: cfg.Seed + 2}), values, drrgossip.Options{})
-			if err != nil {
-				return nil, err
-			}
-			tb.AddRow("complete", "-", "-", mres.Forest.NumTrees(),
-				mres.Stats.Rounds, float64(mres.Stats.Messages)/float64(n),
-				ares.Stats.Rounds, float64(ares.Stats.Messages)/float64(n),
-				float64(sres.Stats.Messages)/float64(n))
-			if mres.Value != wantMax || !mres.Consensus {
-				exactOK = false
-				failures = append(failures, "complete:max")
-			}
-			if agg.RelError(ares.Value, wantAve) > 1e-5 {
-				aveOK = false
-				failures = append(failures, "complete:ave")
-			}
-			if agg.RelError(sres.Value, wantSum) > 1e-5 {
-				sumOK = false
-				failures = append(failures, "complete:sum")
-			}
-			continue
+			o.sres, o.err = drrgossip.Sum(sim.NewEngine(n, sim.Options{Seed: cfg.Seed + 2}), values, drrgossip.Options{})
+			return
 		}
 		spec, err := overlay.ParseSpec(text)
 		if err != nil {
-			return nil, err
+			o.err = err
+			return
 		}
 		ov, err := overlay.Build(spec, n, xrand.Hash(cfg.Seed, 0x0071, uint64(n)))
 		if err != nil {
-			return nil, err
+			o.err = err
+			return
 		}
 		g := ov.Graph()
+		o.name, o.sparse = spec.String(), true
+		o.edges = g.NumEdges()
+		o.harmonicVal = g.HarmonicDegreeSum()
+		if o.mres, o.err = drrgossip.MaxSparse(sim.NewEngine(n, sim.Options{Seed: cfg.Seed}), ov, values, drrgossip.SparseOptions{}); o.err != nil {
+			o.err = fmt.Errorf("%s max: %w", spec, o.err)
+			return
+		}
+		if o.ares, o.err = drrgossip.AveSparse(sim.NewEngine(n, sim.Options{Seed: cfg.Seed + 1}), ov, values, drrgossip.SparseOptions{}); o.err != nil {
+			o.err = fmt.Errorf("%s ave: %w", spec, o.err)
+			return
+		}
+		if o.sres, o.err = drrgossip.SumSparse(sim.NewEngine(n, sim.Options{Seed: cfg.Seed + 2}), ov, values, drrgossip.SparseOptions{}); o.err != nil {
+			o.err = fmt.Errorf("%s sum: %w", spec, o.err)
+		}
+	})
 
-		mres, err := drrgossip.MaxSparse(sim.NewEngine(n, sim.Options{Seed: cfg.Seed}), ov, values, drrgossip.SparseOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("%s max: %w", spec, err)
+	exactOK, aveOK, sumOK, treesOK := true, true, true, true
+	var failures []string
+	for k := range outs {
+		o := &outs[k]
+		if o.err != nil {
+			return nil, o.err
 		}
-		ares, err := drrgossip.AveSparse(sim.NewEngine(n, sim.Options{Seed: cfg.Seed + 1}), ov, values, drrgossip.SparseOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("%s ave: %w", spec, err)
+		harmonic := any("-")
+		if o.sparse {
+			harmonic = o.harmonicVal
 		}
-		sres, err := drrgossip.SumSparse(sim.NewEngine(n, sim.Options{Seed: cfg.Seed + 2}), ov, values, drrgossip.SparseOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("%s sum: %w", spec, err)
-		}
-		harmonic := g.HarmonicDegreeSum()
-		tb.AddRow(spec.String(), g.NumEdges(), harmonic, mres.Forest.NumTrees(),
-			mres.Stats.Rounds, float64(mres.Stats.Messages)/float64(n),
-			ares.Stats.Rounds, float64(ares.Stats.Messages)/float64(n),
-			float64(sres.Stats.Messages)/float64(n))
-
-		if mres.Value != wantMax || !mres.Consensus {
+		tb.AddRow(o.name, o.edges, harmonic, o.mres.Forest.NumTrees(),
+			o.mres.Stats.Rounds, float64(o.mres.Stats.Messages)/float64(n),
+			o.ares.Stats.Rounds, float64(o.ares.Stats.Messages)/float64(n),
+			float64(o.sres.Stats.Messages)/float64(n))
+		if o.mres.Value != wantMax || !o.mres.Consensus {
 			exactOK = false
-			failures = append(failures, spec.String()+":max")
+			failures = append(failures, o.name+":max")
 		}
-		if agg.RelError(ares.Value, wantAve) > 1e-5 || !ares.Consensus {
+		if agg.RelError(o.ares.Value, wantAve) > 1e-5 || (o.sparse && !o.ares.Consensus) {
 			aveOK = false
-			failures = append(failures, spec.String()+":ave")
+			failures = append(failures, o.name+":ave")
 		}
-		if agg.RelError(sres.Value, wantSum) > 1e-5 || !sres.Consensus {
+		if agg.RelError(o.sres.Value, wantSum) > 1e-5 || (o.sparse && !o.sres.Consensus) {
 			sumOK = false
-			failures = append(failures, spec.String()+":sum")
+			failures = append(failures, o.name+":sum")
 		}
-		if r := float64(mres.Forest.NumTrees()) / harmonic; r < 0.3 || r > 3 {
-			treesOK = false
-			failures = append(failures, fmt.Sprintf("%s:trees(ratio %.2f)", spec, r))
+		if o.sparse {
+			if r := float64(o.mres.Forest.NumTrees()) / o.harmonicVal; r < 0.3 || r > 3 {
+				treesOK = false
+				failures = append(failures, fmt.Sprintf("%s:trees(ratio %.2f)", o.name, r))
+			}
 		}
 	}
 	tb.AddNote("msg/n = total transmission attempts per node; sparse overlays pay routed hops per virtual root-gossip edge")

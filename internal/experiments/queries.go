@@ -78,6 +78,30 @@ func RunQB1(cfg Config) (*Report, error) {
 	openBucket := hist.Counts[len(hist.Counts)-1]
 	wantQ := agg.Quantile(values, 0.9)
 
+	// The same batch through RunAll's opt-in concurrency on a fresh
+	// session: answers must be bit-identical to the sequential ones (the
+	// parallel runner's determinism contract).
+	parNet, err := drrgossip.New(drrgossip.Config{N: n, Seed: cfg.Seed + 0xB1, Topology: drrgossip.Chord, Faults: plan})
+	if err != nil {
+		return nil, err
+	}
+	parAnswers, _, err := parNet.RunAll([]drrgossip.Query{
+		drrgossip.HistogramOf(values, edges),
+		drrgossip.QuantileOf(values, 0.9, 2.0),
+	}, drrgossip.BatchOptions{Parallelism: 2})
+	if err != nil {
+		return nil, fmt.Errorf("QB1 parallel batch: %w", err)
+	}
+	parallelIdentical := parAnswers[0].Cost == hist.Cost && parAnswers[1].Cost == quant.Cost &&
+		parAnswers[1].Value == quant.Value && len(parAnswers[0].Counts) == len(hist.Counts)
+	if parallelIdentical {
+		for i := range hist.Counts {
+			if parAnswers[0].Counts[i] != hist.Counts[i] {
+				parallelIdentical = false
+			}
+		}
+	}
+
 	// Two op kinds for the histogram: rank (shared by every edge) and the
 	// count that measures the open bucket's population.
 	histOnce := histStats.HorizonRuns == 2 && histStats.PlanBinds == 2 &&
@@ -98,6 +122,9 @@ func RunQB1(cfg Config) (*Report, error) {
 		verdictf("quantile converges within tolerance and tracks the exact 0.9-quantile",
 			quant.Converged && math.Abs(quant.Value-wantQ) < 25,
 			"value %.4g (exact %.4g), converged %v in %d runs", quant.Value, wantQ, quant.Converged, quant.Cost.Runs),
+		verdictf("RunAll with Parallelism 2 returns answers bit-identical to sequential execution",
+			parallelIdentical, "parallel quantile %.6g / cost %+v vs sequential %.6g / %+v",
+			parAnswers[1].Value, parAnswers[1].Cost, quant.Value, quant.Cost),
 	)
 	return rep, nil
 }

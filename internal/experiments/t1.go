@@ -18,6 +18,13 @@ type algoRun struct {
 	relErr   float64
 }
 
+// add accumulates another run into the receiver.
+func (a *algoRun) add(o algoRun) {
+	a.rounds += o.rounds
+	a.messages += o.messages
+	a.relErr += o.relErr
+}
+
 // RunT1 reproduces Table 1: all three algorithms compute the Average at
 // every size; we report rounds, messages and messages/node, then verify
 // the complexity shapes the table claims.
@@ -29,39 +36,66 @@ func RunT1(cfg Config) (*Report, error) {
 	for _, n := range ns {
 		values := agg.GenUniform(n, 0, 100, xrand.Hash(cfg.Seed, uint64(n)))
 		want := agg.Exact(agg.Average, values, 0)
-		var drrAcc, kasAcc, kemAcc algoRun
-		for trial := 0; trial < trials; trial++ {
+		// Trials are independent replications: fan them across workers
+		// (each on its own engines, seeded per trial) and reduce the
+		// per-trial slots in trial order, so the float accumulation — and
+		// with it the whole report — is bit-identical for any worker count.
+		type trialOut struct {
+			drr, kas, kem algoRun
+			err           error
+		}
+		outs := make([]trialOut, trials)
+		sim.ForEachRun(trials, cfg.workers(), func(trial int) {
+			o := &outs[trial]
 			seed := xrand.Hash(cfg.Seed, 0x71, uint64(n), uint64(trial))
 
 			dres, err := drrgossip.Ave(sim.NewEngine(n, sim.Options{Seed: seed}), values, drrgossip.Options{})
 			if err != nil {
-				return nil, err
+				o.err = err
+				return
 			}
-			drrAcc.rounds += float64(dres.Stats.Rounds)
-			drrAcc.messages += float64(dres.Stats.Messages)
-			drrAcc.relErr += agg.RelError(dres.Value, want)
+			o.drr = algoRun{
+				rounds:   float64(dres.Stats.Rounds),
+				messages: float64(dres.Stats.Messages),
+				relErr:   agg.RelError(dres.Value, want),
+			}
 
 			kres, err := kashyap.Ave(sim.NewEngine(n, sim.Options{Seed: seed + 1}), values, kashyap.Options{})
 			if err != nil {
-				return nil, err
+				o.err = err
+				return
 			}
-			kasAcc.rounds += float64(kres.Stats.Rounds)
-			kasAcc.messages += float64(kres.Stats.Messages)
-			kasAcc.relErr += agg.RelError(kres.Value, want)
+			o.kas = algoRun{
+				rounds:   float64(kres.Stats.Rounds),
+				messages: float64(kres.Stats.Messages),
+				relErr:   agg.RelError(kres.Value, want),
+			}
 
 			mres, err := kempe.PushSum(sim.NewEngine(n, sim.Options{Seed: seed + 2}), values, kempe.Options{})
 			if err != nil {
-				return nil, err
+				o.err = err
+				return
 			}
-			kemAcc.rounds += float64(mres.Stats.Rounds)
-			kemAcc.messages += float64(mres.Stats.Messages)
 			worst := 0.0
 			for _, v := range mres.Estimates {
 				if e := agg.RelError(v, want); e > worst {
 					worst = e
 				}
 			}
-			kemAcc.relErr += worst
+			o.kem = algoRun{
+				rounds:   float64(mres.Stats.Rounds),
+				messages: float64(mres.Stats.Messages),
+				relErr:   worst,
+			}
+		})
+		var drrAcc, kasAcc, kemAcc algoRun
+		for _, o := range outs {
+			if o.err != nil {
+				return nil, o.err
+			}
+			drrAcc.add(o.drr)
+			kasAcc.add(o.kas)
+			kemAcc.add(o.kem)
 		}
 		for name, acc := range map[string]algoRun{"drr": drrAcc, "kashyap": kasAcc, "kempe": kemAcc} {
 			series[name] = append(series[name], algoRun{

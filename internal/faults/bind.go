@@ -251,6 +251,24 @@ func (b *Bound) Attach(eng *sim.Engine) {
 	b.onRound(0)
 }
 
+// Clone returns an unattached Bound sharing this binding's immutable
+// schedule but none of its runtime state. A Bound drives one engine at a
+// time; cloning lets concurrent runs (e.g. a parallel query batch) each
+// attach their own replica of the same resolved plan — the schedule was
+// fixed by Bind, so every clone replays the identical actions.
+func (b *Bound) Clone() *Bound {
+	return &Bound{
+		n:         b.n,
+		actions:   b.actions,
+		bursts:    make(map[int]float64),
+		parts:     make(map[int][]int),
+		severed:   make(map[[2]int]int),
+		flaky:     make(map[int]flakyArea),
+		down:      make([]int, b.n),
+		burstKeep: 1,
+	}
+}
+
 // Fired returns the number of actions applied so far.
 func (b *Bound) Fired() int { return b.fired }
 

@@ -114,6 +114,13 @@ type LinkFault func(from, to int) float64
 // use; within a round, protocols may parallelize their pure per-node
 // computation with ParallelFor and then perform all Engine calls
 // sequentially in node order.
+//
+// The hot path is allocation-free: in-flight messages live in a ring
+// buffer of per-round delivery slots whose backing arrays are recycled
+// across rounds, per-node RNG streams are reseeded in place, and the
+// alive-ID list is cached between membership changes. An Engine can be
+// reused for a new run with Reset, which reproduces NewEngine's state
+// bit-for-bit without reallocating.
 type Engine struct {
 	n     int
 	opts  Options
@@ -121,10 +128,25 @@ type Engine struct {
 	alive []bool
 	nAliv int
 
-	inbox   [][]Message       // per-node messages delivered at the last Tick
-	pending map[int][]Message // absolute round -> messages to deliver
-	seq     uint64            // message sequence for loss hashing
-	rngs    []*xrand.Stream   // lazily built per-node streams
+	// aliveIDs caches the sorted alive-node list; Crash and Revive mark
+	// it dirty instead of callers rebuilding it every round.
+	aliveIDs   []int
+	aliveDirty bool
+
+	inbox [][]Message // per-node messages delivered at the last Tick
+
+	// ring holds in-flight messages keyed by delivery round:
+	// ring[r&ringMask] is the slot for absolute round r. Slot backing
+	// arrays are truncated, not freed, after delivery, so steady-state
+	// scheduling allocates nothing; the ring grows (power of two) when a
+	// routed send's horizon exceeds it.
+	ring     [][]Message
+	ringMask int
+	inflight int // messages scheduled and not yet delivered or discarded
+
+	seq    uint64         // message sequence for loss hashing
+	rngs   []xrand.Stream // per-node streams, reseeded lazily in place
+	rngSet []bool         // which slots of rngs are seeded for this run
 
 	linkFault LinkFault       // nil = all links healthy
 	roundHook func(round int) // runs at the top of every Tick
@@ -132,34 +154,71 @@ type Engine struct {
 	phase     string          // protocol-reported phase label (observability only)
 }
 
+// initialRingSize is the delivery ring's starting slot count (power of
+// two). Direct and relayed sends only ever look one round ahead; routed
+// sends reach round+len(path), which grows the ring on demand.
+const initialRingSize = 16
+
 // NewEngine creates an engine for n nodes. n must be at least 1.
 func NewEngine(n int, opts Options) *Engine {
 	if n < 1 {
 		panic("sim: need at least one node")
 	}
+	e := &Engine{
+		n:        n,
+		alive:    make([]bool, n),
+		aliveIDs: make([]int, 0, n),
+		inbox:    make([][]Message, n),
+		ring:     make([][]Message, initialRingSize),
+		ringMask: initialRingSize - 1,
+		rngs:     make([]xrand.Stream, n),
+		rngSet:   make([]bool, n),
+	}
+	e.Reset(opts)
+	return e
+}
+
+// Reset reinitializes the engine in place to the state NewEngine(e.N(),
+// opts) would produce — counters zeroed, alive set rebuilt from opts'
+// static crash model, message sequence and RNG streams reseeded, hooks
+// and in-flight messages cleared — while keeping every buffer it has
+// already grown. A Reset engine is bit-for-bit equivalent to a fresh one:
+// equal (n, opts) produce identical counters, loss decisions and results
+// whether the engine is new or reused, which is what lets a session run
+// many protocol executions on one allocation.
+func (e *Engine) Reset(opts Options) {
 	if opts.Loss < 0 || opts.Loss >= 1 {
 		panic("sim: Loss must be in [0,1)")
 	}
-	e := &Engine{
-		n:       n,
-		opts:    opts,
-		alive:   make([]bool, n),
-		inbox:   make([][]Message, n),
-		pending: make(map[int][]Message),
-		rngs:    make([]*xrand.Stream, n),
-	}
+	e.opts = opts
+	e.c = Counters{}
+	e.seq = 0
 	for i := range e.alive {
 		e.alive[i] = true
 	}
-	e.nAliv = n
+	e.nAliv = e.n
 	// InitialCrashSet is the single source of truth for the static crash
 	// model (including the keep-one-alive rule), so a round-0 crash plan
 	// over the same set is equivalent by construction.
-	for _, i := range InitialCrashSet(n, opts) {
+	for _, i := range InitialCrashSet(e.n, opts) {
 		e.alive[i] = false
 		e.nAliv--
 	}
-	return e
+	e.aliveDirty = true
+	for i := range e.inbox {
+		e.inbox[i] = e.inbox[i][:0]
+	}
+	for s := range e.ring {
+		e.ring[s] = e.ring[s][:0]
+	}
+	e.inflight = 0
+	for i := range e.rngSet {
+		e.rngSet[i] = false
+	}
+	e.linkFault = nil
+	e.roundHook = nil
+	e.observer = nil
+	e.phase = ""
 }
 
 // N returns the number of nodes (alive or crashed).
@@ -175,23 +234,30 @@ func (e *Engine) NumAlive() int { return e.nAliv }
 func (e *Engine) Alive(i int) bool { return e.alive[i] }
 
 // AliveIDs returns the ids of currently alive nodes in increasing order.
+// The returned slice is owned by the engine and valid until the next
+// Crash or Revive; callers must not modify it. (Protocols consult it
+// every round under fault plans, so it is cached rather than rebuilt.)
 func (e *Engine) AliveIDs() []int {
-	ids := make([]int, 0, e.nAliv)
-	for i, a := range e.alive {
-		if a {
-			ids = append(ids, i)
+	if e.aliveDirty {
+		e.aliveIDs = e.aliveIDs[:0]
+		for i, a := range e.alive {
+			if a {
+				e.aliveIDs = append(e.aliveIDs, i)
+			}
 		}
+		e.aliveDirty = false
 	}
-	return ids
+	return e.aliveIDs
 }
 
 // RNG returns node i's private random stream. Streams are independent
 // across nodes, so parallel per-node stepping is deterministic.
 func (e *Engine) RNG(i int) *xrand.Stream {
-	if e.rngs[i] == nil {
-		e.rngs[i] = xrand.Derive(e.opts.Seed, rngDomainNode, uint64(i))
+	if !e.rngSet[i] {
+		e.rngs[i] = xrand.DeriveStream(e.opts.Seed, rngDomainNode, uint64(i))
+		e.rngSet[i] = true
 	}
-	return e.rngs[i]
+	return &e.rngs[i]
 }
 
 // Crash removes node i from the network mid-run: it stops sending,
@@ -201,6 +267,7 @@ func (e *Engine) Crash(i int) {
 	if e.alive[i] {
 		e.alive[i] = false
 		e.nAliv--
+		e.aliveDirty = true
 	}
 }
 
@@ -211,6 +278,7 @@ func (e *Engine) Revive(i int) {
 	if !e.alive[i] {
 		e.alive[i] = true
 		e.nAliv++
+		e.aliveDirty = true
 	}
 }
 
@@ -291,16 +359,28 @@ func (e *Engine) Round() int { return e.c.Rounds }
 func (e *Engine) attempt(from, to int) bool {
 	e.seq++
 	e.c.Messages++
-	eff := e.opts.Loss
-	if e.linkFault != nil {
-		if x := e.linkFault(from, to); x > 0 {
-			if x >= 1 {
-				e.c.Drops++
-				e.c.Blocked++
-				return false
-			}
-			eff = 1 - (1-eff)*(1-x) // independent fault and link loss
+	if e.linkFault == nil {
+		// Fast path (the static model with healthy links): no fault
+		// predicate to consult, and with Loss == 0 no hash either. The
+		// sequence number still advances exactly as in the slow path, so
+		// installing a fault mid-run cannot shift later loss decisions.
+		if e.opts.Loss == 0 {
+			return e.alive[to]
 		}
+		if xrand.HashFloat(e.opts.Seed, hashDomainLoss, e.seq) < e.opts.Loss {
+			e.c.Drops++
+			return false
+		}
+		return e.alive[to]
+	}
+	eff := e.opts.Loss
+	if x := e.linkFault(from, to); x > 0 {
+		if x >= 1 {
+			e.c.Drops++
+			e.c.Blocked++
+			return false
+		}
+		eff = 1 - (1-eff)*(1-x) // independent fault and link loss
 	}
 	if eff > 0 &&
 		xrand.HashFloat(e.opts.Seed, hashDomainLoss, e.seq) < eff {
@@ -333,13 +413,15 @@ func (e *Engine) Tick() {
 	for i := range e.inbox {
 		e.inbox[i] = e.inbox[i][:0]
 	}
-	if msgs, ok := e.pending[e.c.Rounds]; ok {
+	slot := e.c.Rounds & e.ringMask
+	if msgs := e.ring[slot]; len(msgs) > 0 {
 		for _, m := range msgs {
 			if e.alive[m.To] {
 				e.inbox[m.To] = append(e.inbox[m.To], m)
 			}
 		}
-		delete(e.pending, e.c.Rounds)
+		e.inflight -= len(msgs)
+		e.ring[slot] = msgs[:0] // keep the backing array for reuse
 	}
 	if e.observer != nil {
 		e.observer(e.c.Rounds)
@@ -351,11 +433,39 @@ func (e *Engine) Tick() {
 func (e *Engine) Inbox(i int) []Message { return e.inbox[i] }
 
 // PendingEmpty reports whether any message is still in flight.
-func (e *Engine) PendingEmpty() bool { return len(e.pending) == 0 }
+func (e *Engine) PendingEmpty() bool { return e.inflight == 0 }
 
-// scheduleAt enqueues a delivery for the given absolute round.
+// scheduleAt enqueues a delivery for the given absolute round (which is
+// always in the future: sends schedule at e.c.Rounds+k, k >= 1, so a
+// slot holds messages for exactly one round at a time).
 func (e *Engine) scheduleAt(round int, m Message) {
-	e.pending[round] = append(e.pending[round], m)
+	if round-e.c.Rounds >= len(e.ring) {
+		e.growRing(round - e.c.Rounds + 1)
+	}
+	slot := round & e.ringMask
+	e.ring[slot] = append(e.ring[slot], m)
+	e.inflight++
+}
+
+// growRing widens the delivery ring to at least `need` slots (next power
+// of two), re-filing the occupied slots at their new positions. Slices —
+// including empty recycled ones — move wholesale, so no capacity is lost.
+func (e *Engine) growRing(need int) {
+	size := len(e.ring)
+	for size < need {
+		size <<= 1
+	}
+	ring := make([][]Message, size)
+	mask := size - 1
+	// Old slot s holds messages due at the unique round r in
+	// (Rounds, Rounds+oldSize] with r ≡ s (mod oldSize).
+	base := e.c.Rounds + 1
+	for s, msgs := range e.ring {
+		r := base + ((s - base) & e.ringMask)
+		ring[r&mask] = msgs
+	}
+	e.ring = ring
+	e.ringMask = mask
 }
 
 // Send transmits one message from -> to; if it survives, it is delivered

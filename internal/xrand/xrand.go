@@ -35,11 +35,20 @@ func New(seed uint64) *Stream {
 // derived with any other identifier sequence. It is the standard way to
 // create per-node generators: Derive(seed, uint64(nodeID)).
 func Derive(seed uint64, ids ...uint64) *Stream {
+	s := DeriveStream(seed, ids...)
+	return &s
+}
+
+// DeriveStream is Derive returning the Stream by value, for callers that
+// keep streams in pre-allocated storage (e.g. the simulator's per-node
+// stream table, which reseeds slots in place when an engine is reused)
+// and must not pay one heap allocation per stream.
+func DeriveStream(seed uint64, ids ...uint64) Stream {
 	h := Mix64(seed)
 	for _, id := range ids {
 		h = Mix64(h ^ Mix64(id+goldenGamma))
 	}
-	return &Stream{state: h, gamma: mixGamma(h + goldenGamma)}
+	return Stream{state: h, gamma: mixGamma(h + goldenGamma)}
 }
 
 // Split returns a new Stream statistically independent from s; s itself

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	core "drrgossip/internal/drrgossip"
@@ -96,6 +97,13 @@ type Network struct {
 	cfg Config
 	ov  overlay.Overlay // nil on the Complete topology
 
+	// eng is the session's pooled engine: allocated on the first protocol
+	// run and Reset (bit-identically to a fresh engine) before every
+	// later one, so a Quantile's ~80 Rank runs share one set of buffers
+	// instead of rebuilding inboxes, delivery ring and RNG streams ~80
+	// times. RunAll workers pool their own engines the same way.
+	eng *sim.Engine
+
 	// bounds caches the fault plan resolved per operation kind: the
 	// horizon (total healthy rounds) differs between the max- and
 	// ave-pipelines, so fractional event timings resolve per Op — but
@@ -177,16 +185,43 @@ func (nw *Network) RunContext(ctx context.Context, q Query) (*Answer, error) {
 	}
 }
 
+// BatchOptions tune how RunAll executes a batch.
+type BatchOptions struct {
+	// Parallelism fans the batch's queries across up to this many worker
+	// goroutines (0 or 1 runs sequentially; the count is clamped to the
+	// batch size). Each worker owns a full replica of the execution
+	// state — its own pooled engine and its own clones of the session's
+	// fault bindings — and every protocol run is seeded from Config.Seed
+	// exactly as in sequential execution, so the answers are
+	// bit-identical for any parallelism (see README, "Determinism").
+	// Session observers are not streamed during a concurrent batch:
+	// per-round callbacks from concurrent engines would interleave
+	// nondeterministically.
+	Parallelism int
+}
+
 // RunAll executes a batch of queries against the session — one overlay,
 // one crash-set, one fault binding per operation kind — and returns the
-// per-query answers together with the batch's aggregate bill.
-func (nw *Network) RunAll(queries []Query) ([]*Answer, Cost, error) {
-	return nw.RunAllContext(context.Background(), queries)
+// per-query answers together with the batch's aggregate bill. An
+// optional BatchOptions opts the batch into concurrent execution.
+func (nw *Network) RunAll(queries []Query, opts ...BatchOptions) ([]*Answer, Cost, error) {
+	return nw.RunAllContext(context.Background(), queries, opts...)
 }
 
 // RunAllContext is RunAll with cancellation (see RunContext). On error
-// the answers completed so far are returned alongside it.
-func (nw *Network) RunAllContext(ctx context.Context, queries []Query) ([]*Answer, Cost, error) {
+// the answers completed so far are returned alongside it (under
+// concurrency: the answers of every query preceding the failed one).
+func (nw *Network) RunAllContext(ctx context.Context, queries []Query, opts ...BatchOptions) ([]*Answer, Cost, error) {
+	workers := 0
+	if len(opts) > 0 {
+		workers = opts[0].Parallelism
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers > 1 {
+		return nw.runAllParallel(ctx, queries, workers)
+	}
 	answers := make([]*Answer, 0, len(queries))
 	var total Cost
 	for i, q := range queries {
@@ -198,6 +233,62 @@ func (nw *Network) RunAllContext(ctx context.Context, queries []Query) ([]*Answe
 		total = total.Add(a.Cost)
 	}
 	return answers, total, nil
+}
+
+// runAllParallel fans the batch across workers. The contract is
+// bit-identical answers: every protocol run is independently seeded by
+// Config.Seed and runs on a worker-private engine, and the fault
+// bindings are resolved once up front (sequentially, on the session
+// engine — the same pre-runs sequential execution would perform) and
+// then cloned per worker, so no mutable state is shared and no run can
+// observe another.
+func (nw *Network) runAllParallel(ctx context.Context, queries []Query, workers int) ([]*Answer, Cost, error) {
+	if !nw.cfg.Faults.Empty() {
+		for _, q := range queries {
+			for _, op := range q.baseOps(true) {
+				if _, err := nw.bind(ctx, op, dispatch(op, q.Values, q.Arg)); err != nil {
+					return nil, Cost{}, fmt.Errorf("binding fault plan for %s: %w", op, err)
+				}
+			}
+		}
+	}
+	answers := make([]*Answer, len(queries))
+	errs := make([]error, len(queries))
+	pool := sync.Pool{New: func() any { return nw.workerSession() }}
+	sim.ForEachRun(len(queries), workers, func(i int) {
+		ws := pool.Get().(*Network)
+		answers[i], errs[i] = ws.RunContext(ctx, queries[i])
+		pool.Put(ws)
+	})
+	// Deterministic reduction in query order: the error of the
+	// lowest-indexed failing query wins, with the preceding answers —
+	// exactly what sequential execution would have returned.
+	out := make([]*Answer, 0, len(queries))
+	var total Cost
+	for i := range queries {
+		nw.queries++
+		if errs[i] != nil {
+			return out, total, fmt.Errorf("query %d (%s): %w", i, queries[i].Op, errs[i])
+		}
+		out = append(out, answers[i])
+		total = total.Add(answers[i].Cost)
+		nw.protoRuns += answers[i].Cost.Runs
+	}
+	return out, total, nil
+}
+
+// workerSession replicates the session for one RunAll worker: the same
+// config and the same (immutable, safely shared) overlay, per-worker
+// clones of the fault bindings, a per-worker pooled engine, and no
+// observers. Worker sessions never rebuild the overlay and their own
+// SessionStats are discarded; the parent folds the batch into its
+// accounting deterministically.
+func (nw *Network) workerSession() *Network {
+	ws := &Network{cfg: nw.cfg, ov: nw.ov, bounds: make(map[Op]*faults.Bound, len(nw.bounds))}
+	for op, b := range nw.bounds {
+		ws.bounds[op] = b.Clone()
+	}
+	return ws
 }
 
 // Max computes the global maximum (DRR-gossip-max, Algorithm 7).
@@ -296,11 +387,24 @@ func dispatch(op Op, values []float64, arg float64) protoFunc {
 	}
 }
 
-// execOnce performs one protocol run on a fresh engine, attaching the
+// engine returns the session's pooled engine, Reset to the run's initial
+// state — one engine allocation per session (and per RunAll worker), not
+// per protocol run. Reset is pinned bit-identical to NewEngine, so
+// pooling cannot change a single counter or result.
+func (nw *Network) engine() *sim.Engine {
+	if nw.eng == nil {
+		nw.eng = nw.cfg.engine()
+	} else {
+		nw.eng.Reset(nw.cfg.simOptions())
+	}
+	return nw.eng
+}
+
+// execOnce performs one protocol run on the pooled engine, attaching the
 // bound fault schedule (if any) and the session's observers.
 func (nw *Network) execOnce(b *faults.Bound, run protoFunc) (*Result, *core.MomentsResult, error) {
 	nw.protoRuns++
-	eng := nw.cfg.engine()
+	eng := nw.engine()
 	if len(nw.observers) > 0 {
 		runIdx := nw.protoRuns
 		eng.SetRoundObserver(func(round int) { nw.notify(runIdx, round, eng, b) })
@@ -348,28 +452,42 @@ func (nw *Network) execute(ctx context.Context, op Op, run protoFunc) (*Result, 
 	if nw.cfg.Faults.Empty() {
 		return nw.execOnce(nil, run)
 	}
-	b, ok := nw.bounds[op]
-	if !ok {
-		horizon := 0
-		if nw.cfg.Faults.NeedsHorizon() {
-			healthy, _, err := nw.execOnce(nil, run)
-			if err != nil {
-				return nil, nil, fmt.Errorf("drrgossip: horizon measurement run: %w", err)
-			}
-			nw.horizonRuns++
-			horizon = healthy.Rounds
-			if err := ctx.Err(); err != nil {
-				return nil, nil, err
-			}
-		}
-		var err error
-		if b, err = nw.cfg.Faults.Bind(nw.cfg.N, nw.cfg.Seed, horizon); err != nil {
-			return nil, nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
-		}
-		nw.planBinds++
-		nw.bounds[op] = b
+	b, err := nw.bind(ctx, op, run)
+	if err != nil {
+		return nil, nil, err
 	}
 	return nw.execOnce(b, run)
+}
+
+// bind returns the session's fault binding for op, resolving it on first
+// use (including the horizon-measurement pre-run when the plan places
+// events by horizon fraction). The measured horizon depends only on the
+// operation's pipeline shape — protocol control flow is value-independent
+// (values ride payloads; rounds, calls and loss decisions do not read
+// them) — so any query of the same op kind resolves the same binding.
+func (nw *Network) bind(ctx context.Context, op Op, run protoFunc) (*faults.Bound, error) {
+	if b, ok := nw.bounds[op]; ok {
+		return b, nil
+	}
+	horizon := 0
+	if nw.cfg.Faults.NeedsHorizon() {
+		healthy, _, err := nw.execOnce(nil, run)
+		if err != nil {
+			return nil, fmt.Errorf("drrgossip: horizon measurement run: %w", err)
+		}
+		nw.horizonRuns++
+		horizon = healthy.Rounds
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	b, err := nw.cfg.Faults.Bind(nw.cfg.N, nw.cfg.Seed, horizon)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	nw.planBinds++
+	nw.bounds[op] = b
+	return b, nil
 }
 
 // notify fans a round snapshot out to the observers.

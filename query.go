@@ -105,6 +105,25 @@ func HistogramOf(values []float64, edges []float64) Query {
 	return Query{Op: OpHistogram, Values: values, Edges: edges}
 }
 
+// baseOps lists the single-run operation kinds a query dispatches:
+// composites expand to their constituent runs (Quantile bisects with
+// Min, Max, Count and Rank; a Histogram runs one Rank per edge, plus —
+// under a fault plan — the population Count). RunAll's concurrent path
+// uses this to resolve every fault binding before fanning out.
+func (q Query) baseOps(faulted bool) []Op {
+	switch q.Op {
+	case OpQuantile:
+		return []Op{OpMin, OpMax, OpCount, OpRank}
+	case OpHistogram:
+		if faulted {
+			return []Op{OpRank, OpCount}
+		}
+		return []Op{OpRank}
+	default:
+		return []Op{q.Op}
+	}
+}
+
 // Cost is the shared accounting every Answer carries: how many full
 // aggregate protocol runs the query spent (composite queries run many)
 // and their accumulated round, message and drop bill. Horizon-measurement

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt fmt-check bench bench-smoke bench-perf bench-guard ci
+.PHONY: all build test test-short race vet fmt fmt-check doc-check bench bench-smoke bench-perf bench-guard bench-scale bench-scale-full ci
 
 all: ci
 
@@ -26,6 +26,11 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Documentation gate: every exported identifier in the root package and
+# internal/overlay must carry a doc comment (see cmd/godoclint).
+doc-check:
+	$(GO) run ./cmd/godoclint . ./internal/overlay
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
@@ -45,4 +50,13 @@ bench-perf:
 bench-guard: bench-perf
 	$(GO) run ./cmd/perfjson -check BENCH_PERF.json -baseline BENCH_PERF_BASELINE.json
 
-ci: build vet fmt-check test
+# Scaling study (SC1): the CI smoke tier sweeps n up to 10^5 and writes
+# BENCH_SC1.json with machine-checked shape verdicts; the full tier runs
+# the million-node configuration (several minutes, local/harness use).
+bench-scale:
+	$(GO) run ./cmd/benchtab -experiment SC1 -quick -json
+
+bench-scale-full:
+	$(GO) run ./cmd/benchtab -experiment SC1 -json
+
+ci: build vet fmt-check doc-check test

@@ -17,6 +17,7 @@
 //	go run ./cmd/drrgossip -n 4096 -agg histogram -edges 250,500,750
 //	go run ./cmd/drrgossip -n 1024 -agg average -faults "crash:0.2@0.5"
 //	go run ./cmd/drrgossip -n 1024 -agg sum -faults "churn:0.3:40" -progress 200
+//	go run ./cmd/drrgossip -n 1000000 -agg average -topology chord -workers 8
 package main
 
 import (
@@ -45,12 +46,13 @@ func main() {
 		faultSpec = flag.String("faults", "",
 			`fault plan spec, e.g. "crash:0.2@0.5", "churn:0.3:40", "part:2@0.25..0.75;loss:0.2@0.5..0.9"`)
 		progress = flag.Int("progress", 0, "stream a live progress line to stderr every K rounds (0 = off)")
+		workers  = flag.Int("workers", 0, "in-run delivery shards for large n (0/1 = sequential; results identical for any value)")
 		lo       = flag.Float64("lo", 0, "value range low")
 		hi       = flag.Float64("hi", 1000, "value range high")
 	)
 	flag.Parse()
 
-	cfg := drrgossip.Config{N: *n, Seed: *seed, Loss: *loss, CrashFraction: *crash}
+	cfg := drrgossip.Config{N: *n, Seed: *seed, Loss: *loss, CrashFraction: *crash, Workers: *workers}
 	topo, err := drrgossip.ParseTopology(*topology)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "drrgossip: %v\n", err)

@@ -63,6 +63,17 @@
 // and the address-oblivious lower-bound harness (Section 5) live under
 // internal/ and are exercised by the benchmark harness (cmd/benchtab)
 // and the bench suite (bench_test.go).
+//
+// # Scale
+//
+// A single run scales to a million nodes: Config.Workers shards the
+// engine's delivery step within the run (answers stay bit-identical
+// for any worker count), and Config.SampleNodes bounds how much
+// per-node state an Answer materializes (none by default; AllNodes for
+// the full vector). The SC1 experiment (cmd/benchtab -experiment SC1)
+// is the scaling study behind the README's "Scaling" section; see
+// docs/ARCHITECTURE.md for how sharding preserves determinism and
+// docs/PAPER_MAP.md for the theorem-to-code map.
 package drrgossip
 
 import (
@@ -182,14 +193,43 @@ type Config struct {
 	// plan bound to it; both runs are deterministic in Seed. Nil (or an
 	// empty plan) reproduces the static model bit-for-bit.
 	Faults *faults.Plan
+	// Workers shards a single run's delivery step across this many
+	// goroutines inside the engine (0 or 1 = sequential). Answers are
+	// bit-identical for any value — sharding is a speed knob for large N
+	// (see README, "Scaling"), not a semantic one. It is independent of
+	// BatchOptions.Parallelism, which fans *whole runs* of a batch across
+	// workers.
+	Workers int
+	// SampleNodes controls how much per-node state a query's Answer
+	// materializes:
+	//
+	//	 0 (default)  Answer.PerNode is nil — no O(N) copy per answer,
+	//	              the right default at large N;
+	//	 k > 0        Answer.PerNode holds the final values of min(k, N)
+	//	              nodes drawn deterministically from (Seed, N, k) —
+	//	              the ids are reported in Answer.SampleIDs and are
+	//	              identical for any Workers value;
+	//	 AllNodes     the full N-entry PerNode slice (the historical
+	//	              behaviour; the one-shot helpers default to this).
+	SampleNodes int
 }
+
+// AllNodes is the Config.SampleNodes sentinel requesting the full
+// per-node vector on every Answer.
+const AllNodes = -1
 
 // Result reports one aggregate computation.
 type Result struct {
 	// Value is the network's consensus value for the aggregate.
 	Value float64
-	// PerNode is each node's final value; NaN for crashed nodes.
+	// PerNode is each node's final value, indexed by node id; NaN for
+	// crashed nodes. When the Config sets an explicit SampleNodes: k,
+	// it instead holds the k sampled values whose node ids are listed
+	// in SampleIDs (the one-shot helpers default to the full vector).
 	PerNode []float64
+	// SampleIDs lists the node ids PerNode covers when Config.SampleNodes
+	// requested a sample; nil when PerNode is the full by-id vector.
+	SampleIDs []int
 	// Consensus reports whether all surviving nodes agree exactly.
 	Consensus bool
 	// Rounds and Messages are the protocol's cost in the paper's model
@@ -229,6 +269,12 @@ func (c Config) validate() error {
 	if err := c.Faults.Validate(c.N); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: Workers must be >= 0, got %d", ErrBadConfig, c.Workers)
+	}
+	if c.SampleNodes < AllNodes {
+		return fmt.Errorf("%w: SampleNodes must be >= 0 or AllNodes, got %d", ErrBadConfig, c.SampleNodes)
+	}
 	if c.Topology.isComplete() {
 		return nil
 	}
@@ -250,7 +296,7 @@ func (c Config) checkValues(values []float64) error {
 }
 
 func (c Config) simOptions() sim.Options {
-	return sim.Options{Seed: c.Seed, Loss: c.Loss, CrashFrac: c.CrashFraction}
+	return sim.Options{Seed: c.Seed, Loss: c.Loss, CrashFrac: c.CrashFraction, Shards: c.Workers}
 }
 
 func (c Config) engine() *sim.Engine {
@@ -311,8 +357,14 @@ func ParseFaultPlan(text string) (*faults.Plan, error) {
 // construction and fault-horizon measurement across queries.
 
 // legacyRun executes one query through a single-use session and renders
-// the answer in the pre-session Result shape.
+// the answer in the pre-session Result shape. The historical contract of
+// the one-shot helpers includes a fully materialized PerNode vector, so
+// an unset SampleNodes defaults to AllNodes here (explicit values are
+// honoured).
 func legacyRun(cfg Config, q Query) (*Result, error) {
+	if cfg.SampleNodes == 0 {
+		cfg.SampleNodes = AllNodes
+	}
 	nw, err := New(cfg)
 	if err != nil {
 		return nil, err

@@ -61,7 +61,9 @@ func TestEngineReuseBitIdenticalAcrossRuns(t *testing.T) {
 	} {
 		for planName, spec := range plans {
 			label := tc.name + "/" + planName
-			cfg := Config{N: tc.n, Seed: 77, Loss: 0.02, Topology: tc.topo}
+			// AllNodes keeps the comparison below covering every node's
+			// final value across engine reuse.
+			cfg := Config{N: tc.n, Seed: 77, Loss: 0.02, Topology: tc.topo, SampleNodes: AllNodes}
 			if spec != "" {
 				plan, err := ParseFaultPlan(spec)
 				if err != nil {

@@ -58,6 +58,17 @@ func (s *Set) Count() int {
 // Full reports whether every bit in [0, Len) is set.
 func (s *Set) Full() bool { return s.Count() == s.n }
 
+// Fill sets every bit in [0, Len). Bits beyond Len stay clear, so Count
+// and Full remain exact.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if tail := s.n % wordBits; tail != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (uint64(1) << uint(tail)) - 1
+	}
+}
+
 // UnionWith ors other into s. Both sets must have the same capacity.
 func (s *Set) UnionWith(other *Set) {
 	if other.n != s.n {

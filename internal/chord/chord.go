@@ -246,32 +246,44 @@ func (r *Ring) Sample(rng *xrand.Stream, from int) (node int, path []int, totalH
 // tables (including successor links): an edge {i, f} for every finger f of
 // i. This is the topology Local-DRR runs on (Section 4); its degree is
 // O(log n).
+//
+// The construction is slice-based (count, fill, sort, dedup) rather than
+// per-node hash sets: at million-node scale a map per node costs gigabytes
+// and dominates overlay build time, while the edge set itself is only
+// ~2n·log n ints.
 func (r *Ring) Graph() *graph.Graph {
-	adj := make([]map[int]bool, r.n)
-	for i := range adj {
-		adj[i] = make(map[int]bool)
-	}
+	succ := func(i int) int { return (i + 1) % r.n }
+	// Pass 1: directed-degree count so every list is allocated exactly once.
+	deg := make([]int, r.n)
 	for i := 0; i < r.n; i++ {
 		for _, f := range r.fingers[i] {
-			adj[i][f] = true
-			adj[f][i] = true
+			deg[i]++
+			deg[f]++
 		}
-		// Successor link always present even if finger dedup removed it.
-		s := (i + 1) % r.n
-		if s != i {
-			adj[i][s] = true
-			adj[s][i] = true
+		if s := succ(i); s != i {
+			deg[i]++
+			deg[s]++
 		}
 	}
 	lists := make([][]int, r.n)
-	for i, set := range adj {
-		lst := make([]int, 0, len(set))
-		for v := range set {
-			lst = append(lst, v)
-		}
-		sort.Ints(lst)
-		lists[i] = lst
+	for i := range lists {
+		lists[i] = make([]int, 0, deg[i])
 	}
+	add := func(u, v int) {
+		lists[u] = append(lists[u], v)
+		lists[v] = append(lists[v], u)
+	}
+	for i := 0; i < r.n; i++ {
+		for _, f := range r.fingers[i] {
+			add(i, f)
+		}
+		// Successor link always present even if finger dedup removed it.
+		if s := succ(i); s != i {
+			add(i, s)
+		}
+	}
+	// Pass 2: sort and dedup (mutual fingers insert each edge twice).
+	graph.SortDedup(lists)
 	g, err := graph.FromAdjacency(fmt.Sprintf("chord(%d)", r.n), lists)
 	if err != nil {
 		panic(err) // construction is symmetric by design

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"drrgossip/internal/bitset"
 	"drrgossip/internal/forest"
 	"drrgossip/internal/sim"
 )
@@ -67,19 +68,19 @@ func up(eng *sim.Engine, f *forest.Forest, init []sim.Payload, merge mergeFunc, 
 	}
 	start := eng.Stats()
 	acc := append([]sim.Payload(nil), init...)
-	merged := make([]bool, n) // child -> contribution registered at parent
-	acked := make([]bool, n)  // child -> knows it was registered
+	merged := bitset.New(n) // child -> contribution registered at parent
+	acked := bitset.New(n)  // child -> knows it was registered
 	// expects reports whether node i still owes its parent a delivery:
 	// alive, unacked, with an alive parent to deliver to.
 	expects := func(i int) bool {
-		return f.Member(i) && !f.IsRoot(i) && !acked[i] &&
+		return f.Member(i) && !f.IsRoot(i) && !acked.Test(i) &&
 			eng.Alive(i) && eng.Alive(f.Parent(i))
 	}
 	// ready reports whether node i has heard from every child it can
 	// still hear from (dead children are no longer waited for).
 	ready := func(i int) bool {
 		for _, c := range f.Children(i) {
-			if !merged[c] && eng.Alive(c) {
+			if !merged.Test(c) && eng.Alive(c) {
 				return false
 			}
 		}
@@ -111,14 +112,14 @@ func up(eng *sim.Engine, f *forest.Forest, init []sim.Payload, merge mergeFunc, 
 		}
 		eng.ResolveCalls(calls,
 			func(callee, caller int, req sim.Payload) (sim.Payload, bool) {
-				if !merged[caller] {
-					merged[caller] = true
+				if !merged.Test(caller) {
+					merged.Set(caller)
 					acc[callee] = merge(acc[callee], req)
 				}
 				return sim.Payload{Kind: kindUp}, true
 			},
 			func(caller int, resp sim.Payload) {
-				acked[caller] = true
+				acked.Set(caller)
 			})
 	}
 	// Recount after the loop: the final acks may have landed during the
@@ -245,13 +246,13 @@ func Moments(eng *sim.Engine, f *forest.Forest, values []float64, opts Options) 
 // completion, so mid-run crashes cannot stall the phase. Under an active
 // fault regime an incomplete broadcast returns partial results instead
 // of ErrIncomplete.
-func down(eng *sim.Engine, f *forest.Forest, perRoot map[int]sim.Payload, opts Options) ([]sim.Payload, []bool, sim.Counters, error) {
+func down(eng *sim.Engine, f *forest.Forest, perRoot map[int]sim.Payload, opts Options) ([]sim.Payload, *bitset.Set, sim.Counters, error) {
 	n := eng.N()
 	if f.N() != n {
 		return nil, nil, sim.Counters{}, fmt.Errorf("convergecast: forest has %d nodes, engine %d", f.N(), n)
 	}
 	start := eng.Stats()
-	have := make([]bool, n)
+	have := bitset.New(n)
 	pay := make([]sim.Payload, n)
 	nextChild := make([]int, n) // index into Children(i) of next un-acked child
 	for i := 0; i < n; i++ {
@@ -260,7 +261,7 @@ func down(eng *sim.Engine, f *forest.Forest, perRoot map[int]sim.Payload, opts O
 			if !ok {
 				return nil, nil, sim.Counters{}, fmt.Errorf("convergecast: missing payload for root %d", i)
 			}
-			have[i] = true
+			have.Set(i)
 			pay[i] = p
 		}
 	}
@@ -268,7 +269,7 @@ func down(eng *sim.Engine, f *forest.Forest, perRoot map[int]sim.Payload, opts O
 	// reachability sweep; reach[i] = node i holds or can still receive
 	// the payload through live ancestors.
 	order := f.LeavesFirst()
-	reach := make([]bool, n)
+	reach := bitset.New(n)
 	remaining := 0
 	countRemaining := func() int {
 		rem := 0
@@ -276,15 +277,19 @@ func down(eng *sim.Engine, f *forest.Forest, perRoot map[int]sim.Payload, opts O
 			i := order[k]
 			switch {
 			case !eng.Alive(i):
-				reach[i] = false
-			case have[i]:
-				reach[i] = true
+				reach.Clear(i)
+			case have.Test(i):
+				reach.Set(i)
 			case f.IsRoot(i):
-				reach[i] = false // root without payload cannot be served
+				reach.Clear(i) // root without payload cannot be served
 			default:
-				reach[i] = reach[f.Parent(i)]
+				if reach.Test(f.Parent(i)) {
+					reach.Set(i)
+				} else {
+					reach.Clear(i)
+				}
 			}
-			if reach[i] && !have[i] {
+			if reach.Test(i) && !have.Test(i) {
 				rem++
 			}
 		}
@@ -300,7 +305,7 @@ func down(eng *sim.Engine, f *forest.Forest, perRoot map[int]sim.Payload, opts O
 		eng.Tick()
 		for i := 0; i < n; i++ {
 			calls[i] = sim.Call{}
-			if !have[i] || !eng.Alive(i) {
+			if !have.Test(i) || !eng.Alive(i) {
 				continue
 			}
 			kids := f.Children(i)
@@ -318,8 +323,8 @@ func down(eng *sim.Engine, f *forest.Forest, perRoot map[int]sim.Payload, opts O
 		}
 		eng.ResolveCalls(calls,
 			func(callee, caller int, req sim.Payload) (sim.Payload, bool) {
-				if !have[callee] {
-					have[callee] = true
+				if !have.Test(callee) {
+					have.Set(callee)
 					pay[callee] = req
 				}
 				return sim.Payload{Kind: kindDown}, true
@@ -352,7 +357,7 @@ func BroadcastValue(eng *sim.Engine, f *forest.Forest, perRoot map[int]float64, 
 	}
 	out := make([]float64, eng.N())
 	for i := range out {
-		if have[i] {
+		if have.Test(i) {
 			out[i] = res[i].A
 		} else {
 			out[i] = math.NaN()
@@ -376,7 +381,7 @@ func BroadcastRootAddr(eng *sim.Engine, f *forest.Forest, opts Options) ([]int, 
 	}
 	out := make([]int, eng.N())
 	for i := range out {
-		if have[i] {
+		if have.Test(i) {
 			out[i] = int(res[i].X)
 		} else {
 			out[i] = -1

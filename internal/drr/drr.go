@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"drrgossip/internal/bitset"
 	"drrgossip/internal/forest"
 	"drrgossip/internal/sim"
 )
@@ -82,7 +83,11 @@ func Run(eng *sim.Engine, opts Options) (*Result, error) {
 
 	ranks := make([]float64, n)
 	parent := make([]int, n)
-	found := make([]bool, n)
+	// found/acked are per-node membership sets; dense bitsets keep the
+	// Phase I state at n/8 bytes apiece, which matters at million-node
+	// scale. They are only mutated on the engine's sequential paths
+	// (ResolveCalls handlers); ParallelFor workers read them.
+	found := bitset.New(n)
 	probes := make([]int, n)
 	sim.ParallelFor(n, func(i int) {
 		if eng.Alive(i) {
@@ -100,7 +105,7 @@ func Run(eng *sim.Engine, opts Options) (*Result, error) {
 		eng.Tick()
 		sim.ParallelFor(n, func(i int) {
 			calls[i] = sim.Call{}
-			if !eng.Alive(i) || found[i] {
+			if !eng.Alive(i) || found.Test(i) {
 				return
 			}
 			u := eng.RNG(i).IntnOther(n, i)
@@ -114,7 +119,7 @@ func Run(eng *sim.Engine, opts Options) (*Result, error) {
 			},
 			func(caller int, resp sim.Payload) {
 				if resp.A > ranks[caller] {
-					found[caller] = true
+					found.Set(caller)
 					parent[caller] = int(resp.X)
 				}
 			})
@@ -124,14 +129,14 @@ func Run(eng *sim.Engine, opts Options) (*Result, error) {
 	// carrying their identifier; the parent acknowledges (idempotently, so
 	// retries after a lost ack are harmless). Unacknowledged nodes retry up
 	// to `retries` times and then fall back to being roots.
-	acked := make([]bool, n)
+	acked := bitset.New(n)
 	orphans := 0
 	for attempt := 0; attempt < retries; attempt++ {
 		eng.Tick()
 		active := false
 		for i := 0; i < n; i++ {
 			calls[i] = sim.Call{}
-			if !eng.Alive(i) || !found[i] || acked[i] {
+			if !eng.Alive(i) || !found.Test(i) || acked.Test(i) {
 				continue
 			}
 			active = true
@@ -145,15 +150,15 @@ func Run(eng *sim.Engine, opts Options) (*Result, error) {
 				return sim.Payload{Kind: kindConnect}, true
 			},
 			func(caller int, resp sim.Payload) {
-				acked[caller] = true
+				acked.Set(caller)
 			})
 	}
 	for i := 0; i < n; i++ {
-		if found[i] && !acked[i] {
+		if found.Test(i) && !acked.Test(i) {
 			// The child cannot be sure its parent registered it; failing
 			// open to a root keeps the forest consistent.
 			parent[i] = forest.Root
-			found[i] = false
+			found.Clear(i)
 			orphans++
 		}
 	}

@@ -1,0 +1,209 @@
+// SC1 — the empirical scaling study behind the paper's headline claim:
+// aggregates converge in O(log n) rounds with O(n log log n) messages,
+// numbers that only become interesting (and falsifiable) at large n.
+// SC1 sweeps the Ave pipeline from n = 10^3 up to n = 10^6 on the
+// Complete, Chord and SmallWorld topologies through the public session
+// facade in scale mode (Config.Workers sharded delivery, no PerNode
+// materialization), fits the observed rounds and message bills against
+// the per-topology reference curves, and pins the sharding contract by
+// re-running the largest Chord size with 1, 4 and 8 workers.
+//
+// Reference curves per topology (the paper proves different bounds for
+// dense and sparse networks — fitting everything against n log log n
+// would be wrong):
+//
+//	complete    O(log n) rounds, O(n loglog n) messages (Theorems 2-7)
+//	chord       O(n log n) messages (Theorem 14); polylog rounds
+//	smallworld  polylog rounds and per-node messages (landmark routing;
+//	            Theorem 13 makes the root count Θ(n), so the message
+//	            bill carries an extra log factor over Chord)
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	facade "drrgossip"
+	"drrgossip/internal/agg"
+	"drrgossip/internal/metrics"
+	"drrgossip/internal/tablefmt"
+	"drrgossip/internal/xrand"
+)
+
+// sc1Workers is the delivery shard count the scale runs use. Any value
+// yields bit-identical numbers (the sharding contract SC1 itself
+// verifies), so the report does not depend on the host's core count.
+const sc1Workers = 8
+
+// sc1Topologies are the topologies the scaling study sweeps.
+var sc1Topologies = []facade.Topology{facade.Complete, facade.Chord, facade.SmallWorld}
+
+// sc1SmallWorldCap bounds the SmallWorld ladder in the full tier: its
+// Θ(n) root count (Theorem 13) makes the routed message bill ~n·log² n,
+// so the 10^6 point alone would dominate the whole study's runtime. The
+// cap is reported in the table — never silently applied — and the full
+// ladder is carried by Complete and Chord.
+const sc1SmallWorldCap = 300_000
+
+// sc1Sizes returns the sweep sizes: the full tier tops out at a million
+// nodes, the quick (CI smoke) tier at a hundred thousand.
+func sc1Sizes(cfg Config) []int {
+	if cfg.Quick {
+		return []int{1000, 10000, 100000}
+	}
+	return []int{1000, 10000, 100000, 1000000}
+}
+
+// shapeSqrtN is the non-polylog alternative the sparse-topology verdicts
+// reject: a genuinely super-polylog growth over three decades of n beats
+// every polylog fit long before √n.
+var shapeSqrtN = metrics.Shape{Name: "sqrt n", F: math.Sqrt}
+
+// RunSC1 runs the scaling study at the configured tier.
+func RunSC1(cfg Config) (*Report, error) {
+	return runSC1(cfg, sc1Sizes(cfg), sc1Topologies)
+}
+
+// memSysMB returns the Go runtime's OS memory footprint (MemStats.Sys)
+// in MiB — a monotone high-water mark standing in for RSS. Pure
+// observability (host-dependent), never part of a verdict; nothing is
+// retained between runs, so the post-run live heap would read ~0.
+func memSysMB() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Sys) / (1 << 20)
+}
+
+// runSC1 is RunSC1 over explicit sizes (the in-repo tests shrink them).
+func runSC1(cfg Config, sizes []int, topos []facade.Topology) (*Report, error) {
+	rep := &Report{ID: "SC1", Title: "Scaling study: rounds and messages from 10^3 to 10^6 nodes"}
+	tb := tablefmt.New(fmt.Sprintf("SC1: Ave at scale (workers=%d, lossless)", sc1Workers),
+		"topology", "n", "rounds", "msgs", "msgs/n", "msgs/(n loglog n)", "trees", "elapsed", "rssMB")
+
+	// series[topo][metric] parallels topoNs[topo]: the SmallWorld ladder
+	// may be shorter than the others (sc1SmallWorldCap).
+	series := make(map[string]map[string][]float64)
+	topoNs := make(map[string][]float64)
+	record := func(topo, metric string, v float64) {
+		if series[topo] == nil {
+			series[topo] = make(map[string][]float64)
+		}
+		series[topo][metric] = append(series[topo][metric], v)
+	}
+
+	genValues := func(n int) []float64 {
+		return agg.GenUniform(n, 0, 1000, xrand.Hash(cfg.Seed, 0x5C2, uint64(n)))
+	}
+	measure := func(topo facade.Topology, n, workers int, values []float64) (*facade.Answer, time.Duration, error) {
+		fc := facade.Config{N: n, Seed: xrand.Hash(cfg.Seed, 0x5C1, uint64(n)), Topology: topo, Workers: workers}
+		net, err := facade.New(fc)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		ans, err := net.Average(values)
+		return ans, time.Since(start), err
+	}
+
+	chordMax := sizes[len(sizes)-1]
+	type shardLeg struct {
+		ans     *facade.Answer
+		elapsed time.Duration
+	}
+	shardLegs := map[int]shardLeg{} // workers -> chord run at chordMax
+
+	capped := false
+	for _, topo := range topos {
+		for _, n := range sizes {
+			if topo == facade.SmallWorld && n > sc1SmallWorldCap {
+				capped = true
+				continue
+			}
+			values := genValues(n)
+			ans, elapsed, err := measure(topo, n, sc1Workers, values)
+			if err != nil {
+				return nil, fmt.Errorf("SC1 %s n=%d: %w", topo, n, err)
+			}
+			want := agg.Exact(agg.Average, values, 0)
+			if agg.RelError(ans.Value, want) > 1e-4 {
+				return nil, fmt.Errorf("SC1 %s n=%d: Ave %v drifted from exact %v", topo, n, ans.Value, want)
+			}
+			if topo == facade.Chord && n == chordMax {
+				shardLegs[sc1Workers] = shardLeg{ans: ans, elapsed: elapsed}
+			}
+			nf := float64(n)
+			loglog := math.Log2(math.Log2(nf))
+			tb.AddRow(topo.String(), n, float64(ans.Cost.Rounds), float64(ans.Cost.Messages),
+				float64(ans.Cost.Messages)/nf, float64(ans.Cost.Messages)/(nf*loglog),
+				ans.Trees, elapsed.Seconds(), memSysMB())
+			record(topo.String(), "rounds", float64(ans.Cost.Rounds))
+			record(topo.String(), "msgs/n", float64(ans.Cost.Messages)/nf)
+			topoNs[topo.String()] = append(topoNs[topo.String()], nf)
+		}
+	}
+	tb.AddNote("elapsed and rssMB (Go runtime OS-footprint high-water, monotone across rows) are host-dependent observability columns; every other column is deterministic in the seed")
+	if capped {
+		tb.AddNote("smallworld capped at n=%d: its Θ(n) root count makes the routed bill ~n·log² n (the full ladder is carried by complete and chord)", sc1SmallWorldCap)
+	}
+
+	// Sharding contract at the largest size: Chord Ave must be
+	// bit-identical for 1, 4 and 8 workers (the acceptance bar of the
+	// scale mode — at the full tier this is the million-node run; the
+	// sweep above already produced the workers=8 leg).
+	values := genValues(chordMax)
+	for _, workers := range []int{1, 4, 8} {
+		if _, done := shardLegs[workers]; done {
+			continue
+		}
+		ans, elapsed, err := measure(facade.Chord, chordMax, workers, values)
+		if err != nil {
+			return nil, fmt.Errorf("SC1 shard check workers=%d: %w", workers, err)
+		}
+		shardLegs[workers] = shardLeg{ans: ans, elapsed: elapsed}
+	}
+	ref := shardLegs[1].ans
+	shardOK := true
+	shardDetail := ""
+	for _, workers := range []int{1, 4, 8} {
+		leg := shardLegs[workers]
+		shardDetail += fmt.Sprintf("w=%d: value %.9g cost %+v (%.1fs); ",
+			workers, leg.ans.Value, leg.ans.Cost, leg.elapsed.Seconds())
+		if leg.ans.Value != ref.Value || leg.ans.Cost != ref.Cost || leg.ans.Consensus != ref.Consensus ||
+			leg.ans.Trees != ref.Trees || leg.ans.Alive != ref.Alive {
+			shardOK = false
+		}
+	}
+
+	comp, chrd, sw := series["complete"], series["chord"], series["smallworld"]
+	compNs, chrdNs, swNs := topoNs["complete"], topoNs["chord"], topoNs["smallworld"]
+	last := func(xs []float64) float64 { return xs[len(xs)-1] }
+	tb.AddNote("complete rounds affine fit: %s", metrics.FitAffineBest(compNs, comp["rounds"], metrics.TimeShapes)[0])
+	tb.AddNote("complete msgs/n affine fit: %s", metrics.FitAffineBest(compNs, comp["msgs/n"], metrics.TimeShapes)[0])
+	tb.AddNote("chord msgs/n affine fit: %s", metrics.FitAffineBest(chrdNs, chrd["msgs/n"], metrics.TimeShapes)[0])
+	rep.Tables = append(rep.Tables, tb.String())
+
+	rep.Verdicts = append(rep.Verdicts,
+		verdictf("complete: rounds fit c·log n at scale (the paper's O(log n) time)",
+			metrics.CloserShape(compNs, comp["rounds"], metrics.ShapeLogN, metrics.ShapeLogNLogL),
+			"rounds %v -> %v over n %v -> %v", comp["rounds"][0], last(comp["rounds"]), compNs[0], last(compNs)),
+		verdictf("complete: messages fit c·n·loglog n, not n·log n (the headline O(n loglog n))",
+			metrics.CloserShape(compNs, comp["msgs/n"], metrics.ShapeLogLogN, metrics.ShapeLogN),
+			"msgs/n %v -> %v", comp["msgs/n"][0], last(comp["msgs/n"])),
+		verdictf("chord: messages fit c·n·log n, not n·log² n (Theorem 14)",
+			metrics.CloserShape(chrdNs, chrd["msgs/n"], metrics.ShapeLogN, metrics.ShapeLog2N),
+			"msgs/n %v -> %v", chrd["msgs/n"][0], last(chrd["msgs/n"])),
+		verdictf("chord+smallworld: rounds stay polylogarithmic (closer to log² n than √n)",
+			metrics.CloserShape(chrdNs, chrd["rounds"], metrics.ShapeLog2N, shapeSqrtN) &&
+				metrics.CloserShape(swNs, sw["rounds"], metrics.ShapeLog2N, shapeSqrtN),
+			"chord %v -> %v, smallworld %v -> %v",
+			chrd["rounds"][0], last(chrd["rounds"]), sw["rounds"][0], last(sw["rounds"])),
+		verdictf("smallworld: per-node messages stay polylogarithmic (closer to log² n than √n)",
+			metrics.CloserShape(swNs, sw["msgs/n"], metrics.ShapeLog2N, shapeSqrtN),
+			"msgs/n %v -> %v", sw["msgs/n"][0], last(sw["msgs/n"])),
+		verdictf(fmt.Sprintf("sharded execution is bit-identical for workers ∈ {1,4,8} at n=%d (chord)", chordMax),
+			shardOK, "%s", shardDetail),
+	)
+	return rep, nil
+}

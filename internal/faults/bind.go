@@ -233,6 +233,13 @@ func orient(a, b int) [2]int {
 // the same binding replays its exact schedule on every engine it is
 // attached to — equal (plan, n, seed, horizon) stay bit-deterministic
 // across attachments.
+//
+// Shard safety: the engine invokes the round hook on its sequential
+// path, before any sharded delivery work for that round starts, and the
+// link-fault predicate only from the sequential send path — so a Bound
+// needs no locking under sim.Options.Shards > 1 and fault application
+// is bit-identical for any shard count (pinned by the facade's
+// TestWorkersBitIdenticalAnswers).
 func (b *Bound) Attach(eng *sim.Engine) {
 	b.eng = eng
 	b.remaining = make(map[int][]action, len(b.actions))

@@ -79,6 +79,25 @@ func FromAdjacency(name string, adj [][]int) (*Graph, error) {
 	return build(name, adj)
 }
 
+// SortDedup sorts each adjacency list in place and removes consecutive
+// duplicates, truncating the lists — the normalisation build() expects
+// from slice-based generators that may append the same undirected edge
+// from both endpoints (mutual Chord fingers, small-world shortcuts).
+func SortDedup(adj [][]int) {
+	for u, lst := range adj {
+		sort.Ints(lst)
+		out := lst[:0]
+		prev := -1
+		for _, v := range lst {
+			if v != prev {
+				out = append(out, v)
+				prev = v
+			}
+		}
+		adj[u] = out
+	}
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.adj) }
 
@@ -477,6 +496,12 @@ func BarabasiAlbert(n, m int, seed uint64) *Graph {
 // graph is always connected; the shortcuts give the O(log n) diameter
 // that makes routed root-gossip cheap. Requires k >= 1, n >= 2k+2 and
 // beta in [0,1].
+//
+// The construction is slice-based (no per-vertex hash sets): shortcuts
+// duplicating a lattice edge or an earlier shortcut are removed by a
+// final sort-and-dedup, which yields the same edge set — and consumes
+// the random stream identically — as the historical set-based builder,
+// but stays affordable at millions of vertices.
 func SmallWorld(n, k int, beta float64, seed uint64) *Graph {
 	if k < 1 || n < 2*k+2 {
 		panic("graph: SmallWorld needs k >= 1 and n >= 2k+2")
@@ -485,10 +510,15 @@ func SmallWorld(n, k int, beta float64, seed uint64) *Graph {
 		panic("graph: SmallWorld needs beta in [0,1]")
 	}
 	rng := xrand.Derive(seed, 0x5311, uint64(n), uint64(k))
-	adj := newAdjSets(n)
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		adj[u] = make([]int, 0, 2*k+1)
+	}
 	for u := 0; u < n; u++ {
 		for d := 1; d <= k; d++ {
-			adj.add(u, (u+d)%n)
+			v := (u + d) % n
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
 		}
 	}
 	for u := 0; u < n; u++ {
@@ -496,11 +526,11 @@ func SmallWorld(n, k int, beta float64, seed uint64) *Graph {
 			continue
 		}
 		v := rng.IntnOther(n, u)
-		if !adj.has(u, v) {
-			adj.add(u, v)
-		}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
 	}
-	return mustBuild(fmt.Sprintf("smallworld(%d,k=%d)", n, k), adj.lists())
+	SortDedup(adj)
+	return mustBuild(fmt.Sprintf("smallworld(%d,k=%d)", n, k), adj)
 }
 
 // ErdosRenyi samples G(n, p) using geometric edge skipping, which runs in

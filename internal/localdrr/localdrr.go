@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"drrgossip/internal/bitset"
 	"drrgossip/internal/forest"
 	"drrgossip/internal/graph"
 	"drrgossip/internal/sim"
@@ -122,8 +123,10 @@ func Run(eng *sim.Engine, g *graph.Graph, opts Options) (*Result, error) {
 		}
 	}
 
-	// Connection handshake with ack/retransmit, as in global DRR.
-	acked := make([]bool, n)
+	// Connection handshake with ack/retransmit, as in global DRR. The ack
+	// set is a dense bitset (n/8 bytes) mutated only from the sequential
+	// ResolveCalls path.
+	acked := bitset.New(n)
 	calls := make([]sim.Call, n)
 	orphans := 0
 	for attempt := 0; attempt < retries; attempt++ {
@@ -131,7 +134,7 @@ func Run(eng *sim.Engine, g *graph.Graph, opts Options) (*Result, error) {
 		active := false
 		for i := 0; i < n; i++ {
 			calls[i] = sim.Call{}
-			if !eng.Alive(i) || parent[i] < 0 || acked[i] {
+			if !eng.Alive(i) || parent[i] < 0 || acked.Test(i) {
 				continue
 			}
 			active = true
@@ -145,11 +148,11 @@ func Run(eng *sim.Engine, g *graph.Graph, opts Options) (*Result, error) {
 				return sim.Payload{Kind: kindConnect}, true
 			},
 			func(caller int, resp sim.Payload) {
-				acked[caller] = true
+				acked.Set(caller)
 			})
 	}
 	for i := 0; i < n; i++ {
-		if parent[i] >= 0 && !acked[i] {
+		if parent[i] >= 0 && !acked.Test(i) {
 			parent[i] = forest.Root
 			orphans++
 		}

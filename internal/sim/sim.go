@@ -29,14 +29,32 @@
 // pre-dynamic engine, and an initial-crash set is exactly expressible as
 // a round-0 batch of Crash calls on the ids of InitialCrashSet.
 //
-// Determinism: runs are reproducible from Options.Seed alone. Per-node
-// random streams are derived from (seed, node) so that goroutine-parallel
-// stepping (see ParallelFor) cannot perturb results, and per-message loss
-// is a stateless hash of (seed, message sequence number), with sequence
+// # Determinism
+//
+// Runs are reproducible from Options.Seed alone. Per-node random streams
+// are derived from (seed, node) so that goroutine-parallel stepping (see
+// ParallelFor) cannot perturb results, and per-message loss is a
+// stateless hash of (seed, message sequence number), with sequence
 // numbers assigned in deterministic node order. Fault hooks preserve
 // this: they run at deterministic points (round boundaries) and the
 // link-fault predicate is consulted only from the engine's sequential
 // send path.
+//
+// # Sharded delivery (scale mode)
+//
+// With Options.Shards > 1 the engine partitions the node id space into
+// contiguous shards and parallelises Tick's delivery step across them:
+// every in-flight message is queued, at send time, on the delivery-round
+// slot of the shard owning its destination, and at Tick each shard's
+// worker clears the shard's previously filled inboxes and files its own
+// queue — an ordered merge, since a shard queue preserves the engine's
+// sequential send order restricted to that shard, and each inbox belongs
+// to exactly one shard. No worker touches another shard's state and the
+// counters are folded sequentially, so results are bit-identical to
+// sequential execution for any shard count (pinned by shard_test.go).
+// Inboxes are cleared lazily (only those filled at the previous Tick),
+// which keeps Tick O(messages delivered) instead of O(n) — the change
+// that makes million-node runs affordable.
 package sim
 
 import (
@@ -44,6 +62,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"drrgossip/internal/bitset"
 	"drrgossip/internal/xrand"
 )
 
@@ -76,6 +95,11 @@ type Options struct {
 	Seed      uint64  // master seed; equal seeds give identical runs
 	Loss      float64 // per-message drop probability δ ∈ [0,1)
 	CrashFrac float64 // fraction of nodes crashed before the protocol starts
+	// Shards is the number of delivery shards Tick fans message filing
+	// across (<= 1 means sequential delivery; values are clamped to the
+	// node count and an internal ceiling). Results are bit-identical for
+	// any value — sharding is a within-run speed knob, not a semantic one.
+	Shards int
 }
 
 // Counters aggregates the engine's accounting.
@@ -116,16 +140,17 @@ type LinkFault func(from, to int) float64
 // sequentially in node order.
 //
 // The hot path is allocation-free: in-flight messages live in a ring
-// buffer of per-round delivery slots whose backing arrays are recycled
-// across rounds, per-node RNG streams are reseeded in place, and the
-// alive-ID list is cached between membership changes. An Engine can be
-// reused for a new run with Reset, which reproduces NewEngine's state
-// bit-for-bit without reallocating.
+// buffer of per-round, per-shard delivery slots whose backing arrays are
+// recycled across rounds, per-node RNG streams are stored by value and
+// reseeded in place, the alive set is a dense bitset with a cached
+// sorted-ID view, and only the inboxes actually filled at the previous
+// Tick are cleared. An Engine can be reused for a new run with Reset,
+// which reproduces NewEngine's state bit-for-bit without reallocating.
 type Engine struct {
 	n     int
 	opts  Options
 	c     Counters
-	alive []bool
+	alive *bitset.Set // current membership (bit i = node i alive)
 	nAliv int
 
 	// aliveIDs caches the sorted alive-node list; Crash and Revive mark
@@ -135,18 +160,31 @@ type Engine struct {
 
 	inbox [][]Message // per-node messages delivered at the last Tick
 
-	// ring holds in-flight messages keyed by delivery round:
-	// ring[r&ringMask] is the slot for absolute round r. Slot backing
-	// arrays are truncated, not freed, after delivery, so steady-state
-	// scheduling allocates nothing; the ring grows (power of two) when a
-	// routed send's horizon exceeds it.
-	ring     [][]Message
+	// ring holds in-flight messages keyed by delivery round and
+	// destination shard: ring[r&ringMask][shardOf(to)] is the queue for
+	// absolute round r. Queue backing arrays are truncated, not freed,
+	// after delivery, so steady-state scheduling allocates nothing; the
+	// ring grows (power of two) when a routed send's horizon exceeds it.
+	ring     [][][]Message
 	ringMask int
 	inflight int // messages scheduled and not yet delivered or discarded
 
-	seq    uint64         // message sequence for loss hashing
-	rngs   []xrand.Stream // per-node streams, reseeded lazily in place
-	rngSet []bool         // which slots of rngs are seeded for this run
+	// shards/shardSize partition the node id space for Tick's delivery
+	// step; touched[s] lists the shard-s inboxes filled at the last Tick
+	// (the only ones that need clearing at the next one).
+	shards    int
+	shardSize int
+	touched   [][]int
+
+	seq uint64 // message sequence for loss hashing
+
+	// rngs holds the per-node streams by value, reseeded lazily in place.
+	// rngSet deliberately stays a []bool rather than a bitset: RNG is
+	// called from ParallelFor workers, and concurrent first-use writes to
+	// distinct bool slots are safe where read-modify-write of a shared
+	// bitset word would race.
+	rngs   []xrand.Stream
+	rngSet []bool
 
 	linkFault LinkFault       // nil = all links healthy
 	roundHook func(round int) // runs at the top of every Tick
@@ -166,16 +204,35 @@ func NewEngine(n int, opts Options) *Engine {
 	}
 	e := &Engine{
 		n:        n,
-		alive:    make([]bool, n),
+		alive:    bitset.New(n),
 		aliveIDs: make([]int, 0, n),
 		inbox:    make([][]Message, n),
-		ring:     make([][]Message, initialRingSize),
+		ring:     make([][][]Message, initialRingSize),
 		ringMask: initialRingSize - 1,
 		rngs:     make([]xrand.Stream, n),
 		rngSet:   make([]bool, n),
 	}
 	e.Reset(opts)
 	return e
+}
+
+// maxShards caps the delivery shard count: each ring slot keeps one
+// queue per shard, so unboundedly many shards would waste memory without
+// adding parallelism any real machine can use.
+const maxShards = 256
+
+// normShards clamps a configured shard count to [1, min(n, maxShards)].
+func normShards(shards, n int) int {
+	if shards < 1 {
+		return 1
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	return shards
 }
 
 // Reset reinitializes the engine in place to the state NewEngine(e.N(),
@@ -185,7 +242,9 @@ func NewEngine(n int, opts Options) *Engine {
 // already grown. A Reset engine is bit-for-bit equivalent to a fresh one:
 // equal (n, opts) produce identical counters, loss decisions and results
 // whether the engine is new or reused, which is what lets a session run
-// many protocol executions on one allocation.
+// many protocol executions on one allocation. Changing opts.Shards
+// between Resets re-partitions the delivery queues (and only then
+// reallocates them); it cannot change any result.
 func (e *Engine) Reset(opts Options) {
 	if opts.Loss < 0 || opts.Loss >= 1 {
 		panic("sim: Loss must be in [0,1)")
@@ -193,23 +252,35 @@ func (e *Engine) Reset(opts Options) {
 	e.opts = opts
 	e.c = Counters{}
 	e.seq = 0
-	for i := range e.alive {
-		e.alive[i] = true
-	}
+	e.alive.Fill()
 	e.nAliv = e.n
 	// InitialCrashSet is the single source of truth for the static crash
 	// model (including the keep-one-alive rule), so a round-0 crash plan
 	// over the same set is equivalent by construction.
 	for _, i := range InitialCrashSet(e.n, opts) {
-		e.alive[i] = false
+		e.alive.Clear(i)
 		e.nAliv--
 	}
 	e.aliveDirty = true
 	for i := range e.inbox {
 		e.inbox[i] = e.inbox[i][:0]
 	}
-	for s := range e.ring {
-		e.ring[s] = e.ring[s][:0]
+	if s := normShards(opts.Shards, e.n); s != e.shards {
+		e.shards = s
+		e.shardSize = (e.n + s - 1) / s
+		for slot := range e.ring {
+			e.ring[slot] = make([][]Message, s)
+		}
+		e.touched = make([][]int, s)
+	} else {
+		for slot := range e.ring {
+			for sh := range e.ring[slot] {
+				e.ring[slot][sh] = e.ring[slot][sh][:0]
+			}
+		}
+		for sh := range e.touched {
+			e.touched[sh] = e.touched[sh][:0]
+		}
 	}
 	e.inflight = 0
 	for i := range e.rngSet {
@@ -227,11 +298,14 @@ func (e *Engine) N() int { return e.n }
 // NumAlive returns the number of non-crashed nodes.
 func (e *Engine) NumAlive() int { return e.nAliv }
 
+// Shards returns the effective delivery shard count (>= 1).
+func (e *Engine) Shards() int { return e.shards }
+
 // Alive reports whether node i is currently alive. In the static model
 // this is fixed at construction (initial crashes); with dynamic
 // membership it changes over the run via Crash and Revive, so per-round
 // protocol logic must not cache it.
-func (e *Engine) Alive(i int) bool { return e.alive[i] }
+func (e *Engine) Alive(i int) bool { return e.alive.Test(i) }
 
 // AliveIDs returns the ids of currently alive nodes in increasing order.
 // The returned slice is owned by the engine and valid until the next
@@ -240,11 +314,9 @@ func (e *Engine) Alive(i int) bool { return e.alive[i] }
 func (e *Engine) AliveIDs() []int {
 	if e.aliveDirty {
 		e.aliveIDs = e.aliveIDs[:0]
-		for i, a := range e.alive {
-			if a {
-				e.aliveIDs = append(e.aliveIDs, i)
-			}
-		}
+		e.alive.ForEach(func(i int) {
+			e.aliveIDs = append(e.aliveIDs, i)
+		})
 		e.aliveDirty = false
 	}
 	return e.aliveIDs
@@ -264,8 +336,8 @@ func (e *Engine) RNG(i int) *xrand.Stream {
 // receiving and answering calls, and messages already in flight to it are
 // discarded at delivery time. Crashing a dead node is a no-op.
 func (e *Engine) Crash(i int) {
-	if e.alive[i] {
-		e.alive[i] = false
+	if e.alive.Test(i) {
+		e.alive.Clear(i)
 		e.nAliv--
 		e.aliveDirty = true
 	}
@@ -275,8 +347,8 @@ func (e *Engine) Crash(i int) {
 // inbox; any protocol state it re-enters with is the protocol's concern.
 // Reviving a live node is a no-op.
 func (e *Engine) Revive(i int) {
-	if !e.alive[i] {
-		e.alive[i] = true
+	if !e.alive.Test(i) {
+		e.alive.Set(i)
 		e.nAliv++
 		e.aliveDirty = true
 	}
@@ -290,7 +362,10 @@ func (e *Engine) SetLinkFault(f LinkFault) { e.linkFault = f }
 // SetRoundHook installs (or, with nil, removes) a hook invoked at the top
 // of every Tick with the new round number, before that round's messages
 // are delivered — the attachment point for fault schedulers: a node
-// crashed by the hook at round r never sees its round-r deliveries.
+// crashed by the hook at round r never sees its round-r deliveries. The
+// hook always runs on the engine's sequential path, before any sharded
+// delivery work starts, so fault application is shard-safe by
+// construction.
 func (e *Engine) SetRoundHook(h func(round int)) { e.roundHook = h }
 
 // SetRoundObserver installs (or, with nil, removes) a read-only tap
@@ -365,13 +440,13 @@ func (e *Engine) attempt(from, to int) bool {
 		// sequence number still advances exactly as in the slow path, so
 		// installing a fault mid-run cannot shift later loss decisions.
 		if e.opts.Loss == 0 {
-			return e.alive[to]
+			return e.alive.Test(to)
 		}
 		if xrand.HashFloat(e.opts.Seed, hashDomainLoss, e.seq) < e.opts.Loss {
 			e.c.Drops++
 			return false
 		}
-		return e.alive[to]
+		return e.alive.Test(to)
 	}
 	eff := e.opts.Loss
 	if x := e.linkFault(from, to); x > 0 {
@@ -387,7 +462,7 @@ func (e *Engine) attempt(from, to int) bool {
 		e.c.Drops++
 		return false
 	}
-	return e.alive[to]
+	return e.alive.Test(to)
 }
 
 // Charge accounts k extra message transmissions without delivering
@@ -401,27 +476,82 @@ func (e *Engine) Charge(k int64) {
 	e.c.Messages += k
 }
 
+// deliverShard performs one shard's Tick work: clear the shard inboxes
+// filled at the previous round, then file this round's shard queue in
+// send order. It touches only shard-local state (the shard's inboxes,
+// touched list and queue), so shards can run concurrently without
+// synchronisation; the alive bitset is read-only during delivery (the
+// round hook has already run).
+func (e *Engine) deliverShard(slot, sh int) {
+	tl := e.touched[sh]
+	for _, i := range tl {
+		e.inbox[i] = e.inbox[i][:0]
+	}
+	tl = tl[:0]
+	for _, m := range e.ring[slot][sh] {
+		if e.alive.Test(m.To) {
+			if len(e.inbox[m.To]) == 0 {
+				tl = append(tl, m.To)
+			}
+			e.inbox[m.To] = append(e.inbox[m.To], m)
+		}
+	}
+	e.touched[sh] = tl
+}
+
+// parallelTickFloor is the per-round work (queued messages plus inboxes
+// to clear) below which Tick files deliveries sequentially even when
+// shards > 1: near-empty rounds are common in the routed sparse
+// pipelines, and goroutine fan-out would cost more than it saves. The
+// cutover is computed from deterministic engine state, and the
+// sequential path iterates shards in the same order with the same
+// per-shard logic, so the choice cannot change any result. A variable
+// (not a const) so the sharding contract tests can force the concurrent
+// path at small n.
+var parallelTickFloor = 2048
+
 // Tick advances to the next round: the round hook (if any) runs first,
 // then messages sent previously (and routed messages whose hop count has
 // elapsed) become visible in the recipients' inboxes. Messages addressed
 // to a node that has crashed since they were sent are discarded.
+//
+// With Options.Shards > 1 the delivery step fans across one worker per
+// shard (see the package comment); the result is bit-identical to
+// sequential delivery for any shard count.
 func (e *Engine) Tick() {
 	e.c.Rounds++
 	if e.roundHook != nil {
 		e.roundHook(e.c.Rounds)
 	}
-	for i := range e.inbox {
-		e.inbox[i] = e.inbox[i][:0]
-	}
 	slot := e.c.Rounds & e.ringMask
-	if msgs := e.ring[slot]; len(msgs) > 0 {
-		for _, m := range msgs {
-			if e.alive[m.To] {
-				e.inbox[m.To] = append(e.inbox[m.To], m)
-			}
+	if e.shards == 1 {
+		e.deliverShard(slot, 0)
+	} else {
+		work := 0
+		for sh := 0; sh < e.shards; sh++ {
+			work += len(e.ring[slot][sh]) + len(e.touched[sh])
 		}
-		e.inflight -= len(msgs)
-		e.ring[slot] = msgs[:0] // keep the backing array for reuse
+		if work < parallelTickFloor {
+			for sh := 0; sh < e.shards; sh++ {
+				e.deliverShard(slot, sh)
+			}
+		} else {
+			var wg sync.WaitGroup
+			wg.Add(e.shards)
+			for sh := 0; sh < e.shards; sh++ {
+				go func(sh int) {
+					defer wg.Done()
+					e.deliverShard(slot, sh)
+				}(sh)
+			}
+			wg.Wait()
+		}
+	}
+	for sh := range e.ring[slot] {
+		if msgs := e.ring[slot][sh]; len(msgs) > 0 {
+			e.inflight -= len(msgs)
+			e.ring[slot][sh] = msgs[:0] // keep the backing array for reuse
+		}
 	}
 	if e.observer != nil {
 		e.observer(e.c.Rounds)
@@ -437,32 +567,41 @@ func (e *Engine) PendingEmpty() bool { return e.inflight == 0 }
 
 // scheduleAt enqueues a delivery for the given absolute round (which is
 // always in the future: sends schedule at e.c.Rounds+k, k >= 1, so a
-// slot holds messages for exactly one round at a time).
+// slot holds messages for exactly one round at a time). Queuing by the
+// destination's shard at send time is what keeps Tick's per-shard filing
+// an ordered merge of the sequential send order.
 func (e *Engine) scheduleAt(round int, m Message) {
 	if round-e.c.Rounds >= len(e.ring) {
 		e.growRing(round - e.c.Rounds + 1)
 	}
 	slot := round & e.ringMask
-	e.ring[slot] = append(e.ring[slot], m)
+	sh := m.To / e.shardSize
+	e.ring[slot][sh] = append(e.ring[slot][sh], m)
 	e.inflight++
 }
 
 // growRing widens the delivery ring to at least `need` slots (next power
-// of two), re-filing the occupied slots at their new positions. Slices —
-// including empty recycled ones — move wholesale, so no capacity is lost.
+// of two), re-filing the occupied slots at their new positions. Per-shard
+// queues — including empty recycled ones — move wholesale, so no capacity
+// is lost.
 func (e *Engine) growRing(need int) {
 	size := len(e.ring)
 	for size < need {
 		size <<= 1
 	}
-	ring := make([][]Message, size)
+	ring := make([][][]Message, size)
 	mask := size - 1
 	// Old slot s holds messages due at the unique round r in
 	// (Rounds, Rounds+oldSize] with r ≡ s (mod oldSize).
 	base := e.c.Rounds + 1
-	for s, msgs := range e.ring {
+	for s, queues := range e.ring {
 		r := base + ((s - base) & e.ringMask)
-		ring[r&mask] = msgs
+		ring[r&mask] = queues
+	}
+	for s := range ring {
+		if ring[s] == nil {
+			ring[s] = make([][]Message, e.shards)
+		}
 	}
 	e.ring = ring
 	e.ringMask = mask
@@ -471,7 +610,7 @@ func (e *Engine) growRing(need int) {
 // Send transmits one message from -> to; if it survives, it is delivered
 // at the next Tick. Cost: 1 message.
 func (e *Engine) Send(from, to int, p Payload) {
-	if !e.alive[from] {
+	if !e.alive.Test(from) {
 		return
 	}
 	if e.attempt(from, to) {
@@ -486,7 +625,7 @@ func (e *Engine) Send(from, to int, p Payload) {
 // G"). Cost: 2 messages (1 if the first hop is lost); delivery at the next
 // Tick. When relay == dst the message needs a single hop.
 func (e *Engine) SendVia(from, relay, dst int, p Payload) {
-	if !e.alive[from] {
+	if !e.alive.Test(from) {
 		return
 	}
 	if relay == dst {
@@ -506,7 +645,7 @@ func (e *Engine) SendVia(from, relay, dst int, p Payload) {
 // The payload reaches the final path element after len(path) rounds. Used
 // for sparse overlays (Chord) where a "gossip edge" is a routed path.
 func (e *Engine) SendRouted(from int, path []int, p Payload) {
-	if !e.alive[from] || len(path) == 0 {
+	if !e.alive.Test(from) || len(path) == 0 {
 		return
 	}
 	prev := from
@@ -530,7 +669,7 @@ func (e *Engine) SendRouted(from int, path []int, p Payload) {
 // relay exhausts its hop budget (retransmission cannot revive a node),
 // so callers can restore unsent mass when it returns false.
 func (e *Engine) SendRoutedReliable(from int, path []int, p Payload, retries int) bool {
-	if !e.alive[from] || len(path) == 0 {
+	if !e.alive.Test(from) || len(path) == 0 {
 		return false
 	}
 	if retries <= 0 {
@@ -571,7 +710,7 @@ func (e *Engine) ResolveCalls(
 	}
 	for from := 0; from < e.n; from++ {
 		c := calls[from]
-		if !c.Active || !e.alive[from] {
+		if !c.Active || !e.alive.Test(from) {
 			continue
 		}
 		e.c.Calls++

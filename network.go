@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -21,6 +22,7 @@ import (
 	"drrgossip/internal/faults"
 	"drrgossip/internal/overlay"
 	"drrgossip/internal/sim"
+	"drrgossip/internal/xrand"
 )
 
 // overlayBuilds counts overlay constructions process-wide. Test
@@ -109,6 +111,11 @@ type Network struct {
 	// ave-pipelines, so fractional event timings resolve per Op — but
 	// only once per Op, where the one-shot facade re-measured per call.
 	bounds map[Op]*faults.Bound
+
+	// sample caches the Config.SampleNodes id set (computed once per
+	// session; a pure function of Seed, N and SampleNodes, so worker
+	// replicas recompute the identical set).
+	sample []int
 
 	observers []Observer
 
@@ -346,6 +353,13 @@ func dispatch(op Op, values []float64, arg float64) protoFunc {
 		var err error
 		switch {
 		case op == OpMoments:
+			// Guarded here as well as in aggregate(): the parallel batch
+			// path binds fault plans through dispatch directly, and the
+			// dense Moments protocol would otherwise silently run on a
+			// sparse configuration.
+			if ov != nil {
+				return protoOut{}, errMomentsTopology(ov.Name())
+			}
 			m, merr := core.Moments(eng, values, core.Options{})
 			return protoOut{mom: m}, merr
 		case ov == nil:
@@ -509,13 +523,74 @@ func (nw *Network) notify(run, round int, eng *sim.Engine, b *faults.Bound) {
 	}
 }
 
+// errMomentsTopology is the query-validation error for Moments on a
+// sparse overlay. Moments is a single-run, three-component extension of
+// the dense Phase II convergecast (Σv, Σv², count); the Section 4 sparse
+// pipeline has no equivalent single run, so the limitation is reported
+// loudly instead of silently running the wrong (dense) protocol. See
+// README ("Limitations") and docs/PAPER_MAP.md.
+func errMomentsTopology(topo string) error {
+	return fmt.Errorf("%w: Moments runs only on the Complete topology; topology %q selects the Section 4 sparse pipeline, which has no single-run moments variant — run AverageOf (and derive variance from a second query) or use Topology: Complete; see docs/PAPER_MAP.md", ErrBadConfig, topo)
+}
+
+// sampleIDs draws k distinct node ids from [0, n) by a partial
+// Fisher-Yates shuffle seeded from (seed, n, k) only, returned sorted.
+// Being independent of everything else in a run, the sample is identical
+// across repeated queries, engine reuse, and any Workers (shard) count.
+func sampleIDs(seed uint64, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	rng := xrand.Derive(seed, 0x5A17, uint64(n), uint64(k))
+	moved := make(map[int]int, 2*k)
+	ids := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		vj, ok := moved[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := moved[i]
+		if !ok {
+			vi = i
+		}
+		ids[i] = vj
+		moved[j] = vi
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// materializePerNode renders a run's full per-node vector according to
+// Config.SampleNodes: untouched for AllNodes, dropped by default, or
+// copied down to the session's deterministic sample.
+func (nw *Network) materializePerNode(full []float64) (values []float64, ids []int) {
+	switch {
+	case nw.cfg.SampleNodes == AllNodes:
+		return full, nil
+	case nw.cfg.SampleNodes == 0:
+		return nil, nil
+	default:
+		if nw.sample == nil {
+			nw.sample = sampleIDs(nw.cfg.Seed, nw.cfg.N, nw.cfg.SampleNodes)
+		}
+		out := make([]float64, len(nw.sample))
+		for i, id := range nw.sample {
+			out[i] = full[id]
+		}
+		// Answers own their SampleIDs: hand out a copy so mutating one
+		// answer's slice cannot skew another's (or the session's cache).
+		return out, append([]int(nil), nw.sample...)
+	}
+}
+
 // aggregate answers the single-run operations (OpMax..OpRank, OpMoments).
 func (nw *Network) aggregate(ctx context.Context, q Query) (*Answer, error) {
 	if err := nw.cfg.checkValues(q.Values); err != nil {
 		return nil, err
 	}
 	if q.Op == OpMoments && !nw.cfg.Topology.isComplete() {
-		return nil, fmt.Errorf("%w: Moments is implemented on the Complete topology", ErrBadConfig)
+		return nil, errMomentsTopology(nw.cfg.Topology.String())
 	}
 	res, mom, err := nw.execute(ctx, q.Op, dispatch(q.Op, q.Values, q.Arg))
 	if err != nil {
@@ -524,7 +599,6 @@ func (nw *Network) aggregate(ctx context.Context, q Query) (*Answer, error) {
 	ans := &Answer{
 		Op:           q.Op,
 		Value:        res.Value,
-		PerNode:      res.PerNode,
 		Consensus:    res.Consensus,
 		Cost:         Cost{Runs: 1, Rounds: res.Rounds, Messages: res.Messages, Drops: res.Drops},
 		Trees:        res.Trees,
@@ -534,6 +608,7 @@ func (nw *Network) aggregate(ctx context.Context, q Query) (*Answer, error) {
 		FaultRevives: res.FaultRevives,
 		Converged:    true,
 	}
+	ans.PerNode, ans.SampleIDs = nw.materializePerNode(res.PerNode)
 	if mom != nil {
 		ans.Mean, ans.Variance, ans.Std = mom.Mean, mom.Variance, mom.Std
 	}

@@ -45,7 +45,10 @@ func TestOldEntryPointsBitIdenticalToSession(t *testing.T) {
 	}
 	for _, topo := range []Topology{Complete, Chord, Torus} {
 		for planName, plan := range plans {
-			cfg := Config{N: n, Seed: 73, Topology: topo, Faults: plan}
+			// AllNodes materializes the session answers' full PerNode so
+			// the loop below can compare it against the legacy vectors
+			// (the session default is no materialization).
+			cfg := Config{N: n, Seed: 73, Topology: topo, Faults: plan, SampleNodes: AllNodes}
 			nw, err := New(cfg)
 			if err != nil {
 				t.Fatalf("%s/%s: New: %v", topo, planName, err)

@@ -18,11 +18,14 @@ import (
 type Op uint8
 
 const (
-	// OpMax and OpMin are the exact extrema (DRR-gossip-max, Algorithm 7).
+	// OpMax is the exact maximum (DRR-gossip-max, Algorithm 7).
 	OpMax Op = iota + 1
+	// OpMin is the exact minimum (Gossip-max on negated values).
 	OpMin
-	// OpSum and OpCount are the distinguished-root push-sum variants.
+	// OpSum is the global sum (distinguished-root push-sum).
 	OpSum
+	// OpCount is the surviving-node count (distinguished-root push-sum
+	// over tree sizes).
 	OpCount
 	// OpAverage is DRR-gossip-ave (Algorithm 8).
 	OpAverage
@@ -44,6 +47,7 @@ var opNames = map[Op]string{
 	OpQuantile: "quantile", OpHistogram: "histogram",
 }
 
+// String renders the operation's lower-case name ("max", "quantile", …).
 func (op Op) String() string {
 	if s, ok := opNames[op]; ok {
 		return s
@@ -167,9 +171,17 @@ type Answer struct {
 	Op Op
 	// Value is the network's consensus value (NaN for OpHistogram).
 	Value float64
-	// PerNode is each node's final value; NaN for crashed nodes. Nil for
-	// composite queries.
+	// PerNode holds final node values for single-run queries, as selected
+	// by Config.SampleNodes: nil by default (no O(N) copy per answer),
+	// min(SampleNodes, N) deterministically sampled values (their ids in
+	// SampleIDs), or the full N-entry vector with AllNodes. Crashed nodes
+	// report NaN. Nil for composite queries.
 	PerNode []float64
+	// SampleIDs lists the node ids PerNode covers when Config.SampleNodes
+	// requested a sample (sorted ascending; nil for AllNodes and for the
+	// default of no materialization). The sample is a pure function of
+	// (Seed, N, SampleNodes) — identical across runs and Workers values.
+	SampleIDs []int
 	// Consensus reports whether all surviving nodes agree exactly
 	// (single-run queries only).
 	Consensus bool
@@ -204,6 +216,7 @@ func (a *Answer) result() *Result {
 	return &Result{
 		Value:        a.Value,
 		PerNode:      a.PerNode,
+		SampleIDs:    a.SampleIDs,
 		Consensus:    a.Consensus,
 		Rounds:       a.Cost.Rounds,
 		Messages:     a.Cost.Messages,

@@ -1,0 +1,223 @@
+package drrgossip
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Config.Workers shards a single run's delivery step inside the engine;
+// the scale-mode contract is that answers are bit-identical for any
+// worker count, on dense and sparse topologies, with and without a
+// dynamic fault plan.
+func TestWorkersBitIdenticalAnswers(t *testing.T) {
+	const n = 512
+	values := uniformValues(n, 101)
+	plans := map[string]string{"static": "", "churn": "churn:0.25:30;loss:0.2@0.4..0.8"}
+	for _, topo := range []Topology{Complete, Chord} {
+		for planName, spec := range plans {
+			base := Config{N: n, Seed: 103, Loss: 0.02, Topology: topo, SampleNodes: AllNodes}
+			if spec != "" {
+				base.Faults = mustPlan(t, spec)
+			}
+			run := func(workers int) (*Answer, *Answer) {
+				cfg := base
+				cfg.Workers = workers
+				nw, err := New(cfg)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", topo, planName, workers, err)
+				}
+				ave, err := nw.Average(values)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d ave: %v", topo, planName, workers, err)
+				}
+				sum, err := nw.Sum(values)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d sum: %v", topo, planName, workers, err)
+				}
+				return ave, sum
+			}
+			seqAve, seqSum := run(1)
+			for _, workers := range []int{0, 4, 8} {
+				ave, sum := run(workers)
+				label := topo.String() + "/" + planName
+				answersEqual(t, label+"/ave", seqAve, ave)
+				answersEqual(t, label+"/sum", seqSum, sum)
+			}
+		}
+	}
+}
+
+// Config.SampleNodes edge cases: 0 materializes nothing, k > N clamps,
+// AllNodes keeps the historical full vector, and a sample is a pure
+// function of (Seed, N, k) — identical across sessions and Workers.
+func TestSampleNodesEdgeCases(t *testing.T) {
+	const n = 256
+	values := uniformValues(n, 105)
+
+	run := func(sample, workers int) *Answer {
+		nw, err := New(Config{N: n, Seed: 107, SampleNodes: sample, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := nw.Average(values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	// Default (0): no per-node copy at all.
+	if a := run(0, 1); a.PerNode != nil || a.SampleIDs != nil {
+		t.Fatalf("SampleNodes=0 materialized state: PerNode %d, SampleIDs %d", len(a.PerNode), len(a.SampleIDs))
+	}
+
+	// AllNodes: the full vector, no sample ids.
+	full := run(AllNodes, 1)
+	if len(full.PerNode) != n || full.SampleIDs != nil {
+		t.Fatalf("AllNodes: PerNode %d, SampleIDs %v", len(full.PerNode), full.SampleIDs)
+	}
+
+	// k > 0: k sorted distinct ids whose values agree with the full run.
+	k := 17
+	sampled := run(k, 1)
+	if len(sampled.PerNode) != k || len(sampled.SampleIDs) != k {
+		t.Fatalf("SampleNodes=%d: PerNode %d, SampleIDs %d", k, len(sampled.PerNode), len(sampled.SampleIDs))
+	}
+	for i, id := range sampled.SampleIDs {
+		if id < 0 || id >= n {
+			t.Fatalf("sample id %d out of range", id)
+		}
+		if i > 0 && id <= sampled.SampleIDs[i-1] {
+			t.Fatal("sample ids not strictly increasing")
+		}
+		if sampled.PerNode[i] != full.PerNode[id] {
+			t.Fatalf("sampled value for node %d = %v, full run has %v", id, sampled.PerNode[i], full.PerNode[id])
+		}
+	}
+
+	// Deterministic across workers and across sessions.
+	for _, workers := range []int{4, 8} {
+		again := run(k, workers)
+		if len(again.SampleIDs) != k {
+			t.Fatalf("workers=%d: sample size %d", workers, len(again.SampleIDs))
+		}
+		for i := range again.SampleIDs {
+			if again.SampleIDs[i] != sampled.SampleIDs[i] || again.PerNode[i] != sampled.PerNode[i] {
+				t.Fatalf("workers=%d: sample drifted at %d", workers, i)
+			}
+		}
+	}
+
+	// k > N clamps to N (every node, still sorted ids).
+	clamped := run(10*n, 1)
+	if len(clamped.PerNode) != n || len(clamped.SampleIDs) != n {
+		t.Fatalf("SampleNodes>n: PerNode %d, SampleIDs %d", len(clamped.PerNode), len(clamped.SampleIDs))
+	}
+	for i, id := range clamped.SampleIDs {
+		if id != i {
+			t.Fatalf("clamped sample must cover every node: ids[%d] = %d", i, id)
+		}
+		if clamped.PerNode[i] != full.PerNode[i] {
+			t.Fatalf("clamped value %d drifted", i)
+		}
+	}
+
+	// Validation: below AllNodes is rejected, as is a negative Workers.
+	if _, err := New(Config{N: n, Seed: 1, SampleNodes: -2}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("SampleNodes=-2 accepted: %v", err)
+	}
+	if _, err := New(Config{N: n, Seed: 1, Workers: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Workers=-1 accepted: %v", err)
+	}
+
+	// The legacy one-shot helpers keep their full-PerNode contract…
+	legacy, err := Average(Config{N: n, Seed: 107}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.PerNode) != n || legacy.SampleIDs != nil {
+		t.Fatalf("legacy helper PerNode %d (SampleIDs %v), want full vector", len(legacy.PerNode), legacy.SampleIDs)
+	}
+	// …and an explicit SampleNodes on a one-shot call carries the sample
+	// ids through to the legacy Result, so callers can map values to
+	// nodes.
+	legacySampled, err := Average(Config{N: n, Seed: 107, SampleNodes: k}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacySampled.PerNode) != k || len(legacySampled.SampleIDs) != k {
+		t.Fatalf("legacy sampled helper: PerNode %d, SampleIDs %d", len(legacySampled.PerNode), len(legacySampled.SampleIDs))
+	}
+	for i := range legacySampled.SampleIDs {
+		if legacySampled.SampleIDs[i] != sampled.SampleIDs[i] {
+			t.Fatalf("legacy sample ids drifted at %d", i)
+		}
+	}
+
+	// Answers own their SampleIDs: mutating one answer's slice must not
+	// skew another answer from the same session.
+	nw, err := New(Config{N: n, Seed: 107, SampleNodes: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := nw.Average(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := nw.Sum(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1.SampleIDs[0] = -999
+	if a2.SampleIDs[0] == -999 {
+		t.Fatal("answers share one SampleIDs backing array")
+	}
+	a3, err := nw.Count(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.SampleIDs[0] == -999 {
+		t.Fatal("session sample cache was corrupted through an answer")
+	}
+}
+
+// Moments on a sparse overlay is a descriptive query-validation error on
+// every path, including the parallel batch's direct fault-binding path —
+// it must never silently run the dense protocol.
+func TestMomentsSparseTopologyError(t *testing.T) {
+	const n = 128
+	values := uniformValues(n, 109)
+	cfg := Config{N: n, Seed: 111, Topology: Chord}
+
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = nw.Moments(values)
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("session moments on chord: %v, want ErrBadConfig", err)
+	}
+	for _, want := range []string{"Moments", "Complete", "chord"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error not descriptive (missing %q): %v", want, err)
+		}
+	}
+
+	if _, err := Moments(cfg, values); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("legacy moments on chord: %v, want ErrBadConfig", err)
+	}
+
+	// The concurrent batch path binds fault plans through dispatch
+	// directly; with a plan attached it must surface the same error
+	// instead of silently running the dense pipeline on a sparse config.
+	faulted := cfg
+	faulted.Faults = mustPlan(t, "crash:0.1@0.5")
+	nw2, err := New(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nw2.RunAll([]Query{MomentsOf(values)}, BatchOptions{Parallelism: 2}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("parallel batch moments on chord: %v, want ErrBadConfig", err)
+	}
+}

@@ -50,9 +50,11 @@ bench-perf:
 bench-guard: bench-perf
 	$(GO) run ./cmd/perfjson -check BENCH_PERF.json -baseline BENCH_PERF_BASELINE.json
 
-# Scaling study (SC1): the CI smoke tier sweeps n up to 10^5 and writes
-# BENCH_SC1.json with machine-checked shape verdicts; the full tier runs
-# the million-node configuration (several minutes, local/harness use).
+# Scaling study (SC1): the CI smoke tier sweeps the ladder up to 10^5
+# (plus the chord 10^6 memory leg with its peak-RSS budget verdict) and
+# writes BENCH_SC1.json with machine-checked shape verdicts; the full
+# tier climbs to 10^7 on Complete and Chord (an hour-plus,
+# local/harness use).
 bench-scale:
 	$(GO) run ./cmd/benchtab -experiment SC1 -quick -json
 

@@ -510,6 +510,30 @@ func BenchmarkPerfRunAllBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkPerfGraphNeighbors sweeps every neighbor list of an implicit
+// chord graph through the caller-owned-buffer path — the inner loop of
+// Local-DRR's rank exchange, and the operation the implicit
+// representation recomputes instead of storing. Zero allocs/op and B/op
+// are the pinned contract: on-the-fly neighbor generation must not pay
+// for its memory savings with per-query garbage.
+func BenchmarkPerfGraphNeighbors(b *testing.B) {
+	ring := chord.MustNew(benchN, chord.Options{Seed: 1})
+	g := ring.Graph()
+	buf := make([]int, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for u := 0; u < g.N(); u++ {
+			buf = g.NeighborsInto(u, buf)
+			sink += len(buf)
+		}
+	}
+	if sink == 0 {
+		b.Fatal("empty neighbor lists")
+	}
+}
+
 // --- public API ----------------------------------------------------------
 
 func BenchmarkFacadeAverage(b *testing.B) {

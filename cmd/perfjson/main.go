@@ -7,11 +7,12 @@
 //	go test -bench '^BenchmarkPerf' -benchmem . | go run ./cmd/perfjson -out BENCH_PERF.json
 //	go run ./cmd/perfjson -check BENCH_PERF.json -baseline BENCH_PERF_BASELINE.json
 //
-// The check mode compares allocs/op of every benchmark present in the
-// baseline and exits nonzero when one regresses by more than -max-regress
-// (default 20%, plus a small absolute slack so near-zero benchmarks do
-// not flap on harness noise). ns/op is reported but never guarded:
-// wall-clock depends on the machine, allocation counts do not.
+// The check mode compares allocs/op and B/op of every benchmark present
+// in the baseline and exits nonzero when either regresses by more than
+// -max-regress (default 20%, plus a small absolute per-metric slack so
+// near-zero benchmarks do not flap on harness noise). ns/op is reported
+// but never guarded: wall-clock depends on the machine, allocation
+// counts and bytes do not.
 package main
 
 import (
@@ -101,7 +102,7 @@ func convert(out string) error {
 	return nil
 }
 
-func guard(current, baseline string, maxRegress, slack float64) error {
+func guard(current, baseline string, maxRegress, slack, byteSlack float64) error {
 	cur, err := readReport(current)
 	if err != nil {
 		return err
@@ -114,27 +115,43 @@ func guard(current, baseline string, maxRegress, slack float64) error {
 	for _, b := range cur.Benchmarks {
 		curBy[b.Name] = b
 	}
+	// Guarded metrics and their absolute slacks: one allocation is ~tens
+	// of bytes of header alone, so B/op gets proportionally more room.
+	guarded := []struct {
+		unit  string
+		slack float64
+	}{
+		{"allocs/op", slack},
+		{"B/op", byteSlack},
+	}
 	failures := 0
 	for _, want := range base.Benchmarks {
-		baseAllocs, ok := want.Metrics["allocs/op"]
-		if !ok {
-			continue
-		}
-		got, ok := curBy[want.Name]
-		if !ok {
-			fmt.Printf("FAIL %s: pinned benchmark missing from %s\n", want.Name, current)
-			failures++
-			continue
-		}
-		allocs := got.Metrics["allocs/op"]
-		limit := baseAllocs*(1+maxRegress) + slack
-		if allocs > limit {
-			fmt.Printf("FAIL %s: allocs/op %.1f exceeds baseline %.1f by more than %.0f%% (+%.0f slack)\n",
-				want.Name, allocs, baseAllocs, maxRegress*100, slack)
-			failures++
-		} else {
-			fmt.Printf("ok   %s: allocs/op %.1f (baseline %.1f, limit %.1f)\n",
-				want.Name, allocs, baseAllocs, limit)
+		got, present := curBy[want.Name]
+		checkedAny := false
+		for _, gm := range guarded {
+			baseVal, ok := want.Metrics[gm.unit]
+			if !ok {
+				continue
+			}
+			if !present {
+				if !checkedAny {
+					fmt.Printf("FAIL %s: pinned benchmark missing from %s\n", want.Name, current)
+					failures++
+				}
+				checkedAny = true
+				continue
+			}
+			checkedAny = true
+			val := got.Metrics[gm.unit]
+			limit := baseVal*(1+maxRegress) + gm.slack
+			if val > limit {
+				fmt.Printf("FAIL %s: %s %.1f exceeds baseline %.1f by more than %.0f%% (+%.0f slack)\n",
+					want.Name, gm.unit, val, baseVal, maxRegress*100, gm.slack)
+				failures++
+			} else {
+				fmt.Printf("ok   %s: %s %.1f (baseline %.1f, limit %.1f)\n",
+					want.Name, gm.unit, val, baseVal, limit)
+			}
 		}
 	}
 	if failures > 0 {
@@ -148,13 +165,14 @@ func main() {
 		out        = flag.String("out", "BENCH_PERF.json", "output path (convert mode: stdin -> JSON)")
 		check      = flag.String("check", "", "guard mode: current BENCH_PERF.json to check")
 		baseline   = flag.String("baseline", "BENCH_PERF_BASELINE.json", "guard mode: pinned baseline")
-		maxRegress = flag.Float64("max-regress", 0.20, "guard mode: allowed fractional allocs/op regression")
+		maxRegress = flag.Float64("max-regress", 0.20, "guard mode: allowed fractional allocs/op and B/op regression")
 		slack      = flag.Float64("slack", 16, "guard mode: absolute allocs/op slack on top of the fraction")
+		byteSlack  = flag.Float64("byte-slack", 512, "guard mode: absolute B/op slack on top of the fraction")
 	)
 	flag.Parse()
 	var err error
 	if *check != "" {
-		err = guard(*check, *baseline, *maxRegress, *slack)
+		err = guard(*check, *baseline, *maxRegress, *slack, *byteSlack)
 	} else {
 		err = convert(*out)
 	}

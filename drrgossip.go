@@ -212,6 +212,13 @@ type Config struct {
 	//	 AllNodes     the full N-entry PerNode slice (the historical
 	//	              behaviour; the one-shot helpers default to this).
 	SampleNodes int
+	// LegacySliceAdjacency stores the overlay's communication graph in
+	// the historical jagged [][]int layout instead of the memory-lean
+	// implicit/CSR representations. Answers are bit-identical either
+	// way — the knob exists for cross-representation identity checks and
+	// memory studies (SC1), and costs O(edges) extra memory. No effect
+	// on the Complete topology, which builds no overlay graph.
+	LegacySliceAdjacency bool
 }
 
 // AllNodes is the Config.SampleNodes sentinel requesting the full
@@ -307,6 +314,7 @@ func (c Config) engine() *sim.Engine {
 // the ChordBits/ChordHashed knobs; everything else builds through the
 // registry, seeded by Config.Seed.
 func (c Config) buildOverlay() (overlay.Overlay, error) {
+	var ov overlay.Overlay
 	if c.Topology.name == "chord" {
 		placement := chord.Even
 		if c.ChordHashed {
@@ -316,9 +324,18 @@ func (c Config) buildOverlay() (overlay.Overlay, error) {
 		if err != nil {
 			return nil, err
 		}
-		return overlay.NewChord(ring), nil
+		ov = overlay.NewChord(ring)
+	} else {
+		var err error
+		ov, err = overlay.Build(c.Topology.spec(), c.N, c.Seed)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return overlay.Build(c.Topology.spec(), c.N, c.Seed)
+	if c.LegacySliceAdjacency {
+		return overlay.Materialize(ov)
+	}
+	return ov, nil
 }
 
 func wrap(eng *sim.Engine, res *core.Result) *Result {

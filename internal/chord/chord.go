@@ -4,6 +4,14 @@
 // tables, greedy clockwise routing with O(log n) hops, and a routing-based
 // uniform random node sampler standing in for King et al.'s "choosing a
 // random peer in Chord" (see DESIGN.md §4, substitution 3).
+//
+// The ring is fully implicit: finger tables are never materialized.
+// Routing recomputes the O(bits) finger candidates of the current hop on
+// the fly (same asymptotic hop cost, zero storage), and the communication
+// graph is an implicit graph.Graph whose neighbour lists — forward
+// fingers, reverse fingers and ring links — are derived from closed-form
+// successor arithmetic (Even placement) or binary search over the sorted
+// identifier array (Hashed placement, the only O(n) state kept).
 package chord
 
 import (
@@ -35,13 +43,15 @@ type Options struct {
 
 // Ring is an immutable Chord overlay on nodes 0..n-1. Node indices are
 // ranks on the identifier circle: node i's successor is node (i+1) mod n.
+// Even placement stores no per-node state at all (identifiers are
+// i·step); Hashed placement stores only the sorted identifier array.
 type Ring struct {
-	n       int
-	bits    int
-	space   uint64   // 2^bits
-	ids     []uint64 // sorted identifiers; ids[i] belongs to node i
-	fingers [][]int  // fingers[i][k] = successor(ids[i] + 2^k), deduped
-	minArc  uint64   // smallest successor arc, for rejection sampling
+	n      int
+	bits   int
+	space  uint64   // 2^bits
+	step   uint64   // Even placement: ids[i] = i*step; 0 under Hashed
+	ids    []uint64 // Hashed placement: sorted identifiers; nil under Even
+	minArc uint64   // smallest successor arc, for rejection sampling
 }
 
 // New builds a Chord ring on n nodes (n >= 2).
@@ -60,16 +70,17 @@ func New(n int, opts Options) (*Ring, error) {
 	if uint64(n) > space {
 		return nil, fmt.Errorf("chord: %d nodes exceed identifier space 2^%d", n, bits)
 	}
-	ids := make([]uint64, n)
+	r := &Ring{n: n, bits: bits, space: space}
 	switch opts.Placement {
 	case Even:
-		step := space / uint64(n)
-		for i := range ids {
-			ids[i] = uint64(i) * step
-		}
+		r.step = space / uint64(n)
+		// Every arc is step except node 0's, which absorbs the rounding
+		// remainder (space - (n-1)·step >= step), so minArc = step.
+		r.minArc = r.step
 	case Hashed:
 		rng := xrand.Derive(opts.Seed, 0xC40D, uint64(n))
 		used := make(map[uint64]bool, n)
+		ids := make([]uint64, n)
 		for i := range ids {
 			for {
 				id := rng.Uint64n(space)
@@ -81,33 +92,15 @@ func New(n int, opts Options) (*Ring, error) {
 			}
 		}
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	default:
-		return nil, fmt.Errorf("chord: unknown placement %d", opts.Placement)
-	}
-
-	r := &Ring{n: n, bits: bits, space: space, ids: ids}
-	r.minArc = r.arc(0)
-	for i := 1; i < n; i++ {
-		if a := r.arc(i); a < r.minArc {
-			r.minArc = a
-		}
-	}
-
-	// Finger tables: finger k of node i points to successor(ids[i]+2^k).
-	r.fingers = make([][]int, n)
-	for i := 0; i < n; i++ {
-		seen := make(map[int]bool, bits)
-		fs := make([]int, 0, bits)
-		for k := 0; k < bits; k++ {
-			target := (ids[i] + (uint64(1) << uint(k))) & (space - 1)
-			f := r.SuccessorOf(target)
-			if f != i && !seen[f] {
-				seen[f] = true
-				fs = append(fs, f)
+		r.ids = ids
+		r.minArc = r.arc(0)
+		for i := 1; i < n; i++ {
+			if a := r.arc(i); a < r.minArc {
+				r.minArc = a
 			}
 		}
-		sort.Ints(fs)
-		r.fingers[i] = fs
+	default:
+		return nil, fmt.Errorf("chord: unknown placement %d", opts.Placement)
 	}
 	return r, nil
 }
@@ -128,13 +121,18 @@ func (r *Ring) N() int { return r.n }
 func (r *Ring) Bits() int { return r.bits }
 
 // ID returns node i's identifier.
-func (r *Ring) ID(i int) uint64 { return r.ids[i] }
+func (r *Ring) ID(i int) uint64 {
+	if r.ids == nil {
+		return uint64(i) * r.step
+	}
+	return r.ids[i]
+}
 
 // arc returns the identifier distance from node i's predecessor boundary:
 // the length of the arc (pred(i), ids[i]] that node i owns.
 func (r *Ring) arc(i int) uint64 {
-	prev := r.ids[(i+r.n-1)%r.n]
-	return (r.ids[i] - prev) & (r.space - 1)
+	prev := r.ID((i + r.n - 1) % r.n)
+	return (r.ID(i) - prev) & (r.space - 1)
 }
 
 // Arc returns the length of the identifier arc owned by node i. Exposed
@@ -145,6 +143,15 @@ func (r *Ring) Arc(i int) uint64 { return r.arc(i) }
 // identifier is >= id in clockwise order (wrapping to node 0).
 func (r *Ring) SuccessorOf(id uint64) int {
 	id &= r.space - 1
+	if r.ids == nil {
+		// Closed form of the binary search over ids[i] = i·step: the
+		// first i with i·step >= id is ceil(id/step).
+		i := int((id + r.step - 1) / r.step)
+		if i >= r.n {
+			return 0
+		}
+		return i
+	}
 	i := sort.Search(r.n, func(k int) bool { return r.ids[k] >= id })
 	if i == r.n {
 		return 0
@@ -153,9 +160,36 @@ func (r *Ring) SuccessorOf(id uint64) int {
 }
 
 // Fingers returns node i's deduplicated finger set (sorted node indices;
-// always includes the successor since 2^0 is a finger target). The caller
-// must not modify it.
-func (r *Ring) Fingers(i int) []int { return r.fingers[i] }
+// always includes the successor since 2^0 is a finger target). The set is
+// computed on demand — the ring stores no finger tables — so every call
+// allocates a fresh slice the caller owns.
+func (r *Ring) Fingers(i int) []int {
+	fs := make([]int, 0, r.bits)
+	fs = r.appendFingers(i, fs)
+	sort.Ints(fs)
+	// Dedup in place (several shifts can land on the same successor).
+	w := 0
+	for k, f := range fs {
+		if k == 0 || f != fs[k-1] {
+			fs[w] = f
+			w++
+		}
+	}
+	return fs[:w]
+}
+
+// appendFingers appends successor(ID(i) + 2^k) for every k, excluding i
+// itself, without sorting or dedup.
+func (r *Ring) appendFingers(i int, buf []int) []int {
+	id := r.ID(i)
+	for k := 0; k < r.bits; k++ {
+		f := r.SuccessorOf((id + (uint64(1) << uint(k))) & (r.space - 1))
+		if f != i {
+			buf = append(buf, f)
+		}
+	}
+	return buf
+}
 
 // dist returns the clockwise identifier distance from a to b.
 func (r *Ring) dist(a, b uint64) uint64 { return (b - a) & (r.space - 1) }
@@ -188,15 +222,23 @@ func (r *Ring) Route(from int, id uint64) []int {
 
 // closestPreceding returns the finger of cur whose identifier is closest
 // to id while remaining strictly within the clockwise interval
-// (ids[cur], id); cur itself if none.
+// (ids[cur], id); cur itself if none. Finger candidates are recomputed on
+// the fly; duplicate shifts landing on one node re-evaluate the same
+// distance, so the selected node is identical to scanning a deduplicated
+// finger table.
 func (r *Ring) closestPreceding(cur int, id uint64) int {
+	curID := r.ID(cur)
 	best := cur
-	bestDist := r.dist(r.ids[cur], id)
+	bestDist := r.dist(curID, id)
 	if bestDist == 0 {
 		return cur
 	}
-	for _, f := range r.fingers[cur] {
-		d := r.dist(r.ids[f], id)
+	for k := 0; k < r.bits; k++ {
+		f := r.SuccessorOf((curID + (uint64(1) << uint(k))) & (r.space - 1))
+		if f == cur {
+			continue
+		}
+		d := r.dist(r.ID(f), id)
 		// Strictly inside (cur, id): closer to id than cur is, nonzero.
 		if d < bestDist && d > 0 {
 			best = f
@@ -211,7 +253,7 @@ func (r *Ring) RouteToNode(from, to int) []int {
 	if from == to {
 		return nil
 	}
-	return r.Route(from, r.ids[to])
+	return r.Route(from, r.ID(to))
 }
 
 // Sample draws a near-uniform random node by routing: pick a uniform
@@ -242,49 +284,117 @@ func (r *Ring) Sample(rng *xrand.Stream, from int) (node int, path []int, totalH
 	}
 }
 
+// appendOwnersLinear appends (ascending) every node whose identifier lies
+// in the linear range [a, b]; empty when a > b.
+func (r *Ring) appendOwnersLinear(a, b uint64, buf []int) []int {
+	if a > b {
+		return buf
+	}
+	if r.ids == nil {
+		i := int((a + r.step - 1) / r.step) // first index with i·step >= a
+		j := int(b / r.step)                // last index with j·step <= b
+		if j >= r.n {
+			j = r.n - 1
+		}
+		for v := i; v <= j; v++ {
+			buf = append(buf, v)
+		}
+		return buf
+	}
+	i := sort.Search(r.n, func(k int) bool { return r.ids[k] >= a })
+	for ; i < r.n && r.ids[i] <= b; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// appendOwnersIn appends every node whose identifier lies in the
+// clockwise identifier interval (lo, hi]; the interval must be nonempty
+// (lo != hi).
+func (r *Ring) appendOwnersIn(lo, hi uint64, buf []int) []int {
+	if lo < hi {
+		return r.appendOwnersLinear(lo+1, hi, buf)
+	}
+	buf = r.appendOwnersLinear(lo+1, r.space-1, buf)
+	return r.appendOwnersLinear(0, hi, buf)
+}
+
+// appendGraphNeighbors appends node u's neighbours in the induced
+// communication graph — forward fingers, reverse fingers (nodes v with u
+// in their finger set), and the undirected ring links to successor and
+// predecessor — sorted and deduplicated, excluding u.
+//
+// Reverse fingers come from an interval query instead of scanning all
+// nodes: u = successor(ID(v) + 2^k) iff ID(v) + 2^k lands in u's owned
+// arc (pred(u), u], i.e. ID(v) ∈ (ID(pred(u)) − 2^k, ID(u) − 2^k].
+func (r *Ring) appendGraphNeighbors(u int, buf []int) []int {
+	start := len(buf)
+	buf = r.appendFingers(u, buf)
+	uID := r.ID(u)
+	predID := r.ID((u + r.n - 1) % r.n)
+	mask := r.space - 1
+	for k := 0; k < r.bits; k++ {
+		s := uint64(1) << uint(k)
+		buf = r.appendOwnersIn((predID-s)&mask, (uID-s)&mask, buf)
+	}
+	// Ring links: the successor edge is always present even when finger
+	// dedup removed it, and symmetrically u is its predecessor's successor.
+	if s := (u + 1) % r.n; s != u {
+		buf = append(buf, s, (u+r.n-1)%r.n)
+	}
+	// Sort, dedup, drop u (the reverse-finger query can return u itself
+	// when a shift maps u's own identifier back into its arc).
+	row := buf[start:]
+	sort.Ints(row)
+	w := 0
+	for _, v := range row {
+		if v != u && (w == 0 || v != row[w-1]) {
+			row[w] = v
+			w++
+		}
+	}
+	return buf[:start+w]
+}
+
 // Graph returns the undirected communication graph induced by the finger
 // tables (including successor links): an edge {i, f} for every finger f of
 // i. This is the topology Local-DRR runs on (Section 4); its degree is
 // O(log n).
 //
-// The construction is slice-based (count, fill, sort, dedup) rather than
-// per-node hash sets: at million-node scale a map per node costs gigabytes
-// and dominates overlay build time, while the edge set itself is only
-// ~2n·log n ints.
+// The graph is implicit: neighbour lists are recomputed per query from
+// successor arithmetic (see appendGraphNeighbors), so the graph costs no
+// memory at any n. Use MaterializedGraph for the historical jagged-slice
+// layout.
 func (r *Ring) Graph() *graph.Graph {
-	succ := func(i int) int { return (i + 1) % r.n }
-	// Pass 1: directed-degree count so every list is allocated exactly once.
-	deg := make([]int, r.n)
-	for i := 0; i < r.n; i++ {
-		for _, f := range r.fingers[i] {
-			deg[i]++
-			deg[f]++
-		}
-		if s := succ(i); s != i {
-			deg[i]++
-			deg[s]++
-		}
-	}
+	return graph.NewImplicit(fmt.Sprintf("chord(%d)", r.n), graph.ImplicitSpec{
+		N:     r.n,
+		Edges: -1, // counted lazily on first NumEdges call
+		Fill:  func(u int, buf []int) []int { return r.appendGraphNeighbors(u, buf) },
+	})
+}
+
+// MaterializedGraph returns the same communication graph as Graph in the
+// historical jagged-slice representation: every neighbour list is its own
+// []int. It exists for cross-representation goldens and the SC1 memory
+// study; protocols should use Graph.
+func (r *Ring) MaterializedGraph() *graph.Graph {
 	lists := make([][]int, r.n)
-	for i := range lists {
-		lists[i] = make([]int, 0, deg[i])
-	}
-	add := func(u, v int) {
-		lists[u] = append(lists[u], v)
-		lists[v] = append(lists[v], u)
-	}
+	var fbuf []int
 	for i := 0; i < r.n; i++ {
-		for _, f := range r.fingers[i] {
-			add(i, f)
+		fbuf = r.appendFingers(i, fbuf[:0])
+		for _, f := range fbuf {
+			lists[i] = append(lists[i], f)
+			lists[f] = append(lists[f], i)
 		}
 		// Successor link always present even if finger dedup removed it.
-		if s := succ(i); s != i {
-			add(i, s)
+		if s := (i + 1) % r.n; s != i {
+			lists[i] = append(lists[i], s)
+			lists[s] = append(lists[s], i)
 		}
 	}
-	// Pass 2: sort and dedup (mutual fingers insert each edge twice).
+	// Mutual fingers insert each edge twice; normalise.
 	graph.SortDedup(lists)
-	g, err := graph.FromAdjacency(fmt.Sprintf("chord(%d)", r.n), lists)
+	g, err := graph.LegacyJagged(fmt.Sprintf("chord(%d)", r.n), lists)
 	if err != nil {
 		panic(err) // construction is symmetric by design
 	}

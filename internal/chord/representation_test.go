@@ -1,0 +1,78 @@
+package chord
+
+// Cross-representation golden: the implicit communication graph
+// (interval-query reverse fingers over closed-form successor arithmetic)
+// must be element-identical to the materialized jagged builder, which
+// reproduces the historical two-pass construction.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func assertGraphsEqual(t *testing.T, r *Ring) {
+	t.Helper()
+	imp := r.Graph()
+	mat := r.MaterializedGraph()
+	if imp.N() != mat.N() {
+		t.Fatalf("n=%d: N differs: %d vs %d", r.N(), imp.N(), mat.N())
+	}
+	var buf []int
+	for u := 0; u < r.N(); u++ {
+		buf = imp.NeighborsInto(u, buf)
+		want := mat.Neighbors(u)
+		if len(buf) != len(want) {
+			t.Fatalf("n=%d u=%d: degree %d vs %d (%v vs %v)",
+				r.N(), u, len(buf), len(want), buf, want)
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("n=%d u=%d: neighbours differ: %v vs %v", r.N(), u, buf, want)
+			}
+		}
+	}
+	if imp.NumEdges() != mat.NumEdges() {
+		t.Fatalf("n=%d: edges %d vs %d", r.N(), imp.NumEdges(), mat.NumEdges())
+	}
+}
+
+func TestImplicitGraphMatchesMaterialized(t *testing.T) {
+	for _, placement := range []Placement{Even, Hashed} {
+		for _, tc := range []struct{ n, bits int }{
+			{2, 40}, {3, 40}, {5, 40}, {64, 40}, {1000, 40}, {4097, 40},
+			// Tight identifier spaces stress wraparound intervals and
+			// rounding (step does not divide space).
+			{5, 3}, {64, 8}, {1000, 12}, {4097, 13},
+		} {
+			r := MustNew(tc.n, Options{Bits: tc.bits, Placement: placement, Seed: 0xfeed})
+			t.Run(fmt.Sprintf("p%d/n%d/b%d", placement, tc.n, tc.bits), func(t *testing.T) {
+				assertGraphsEqual(t, r)
+			})
+		}
+	}
+}
+
+// The closed-form Even successor must agree with binary search over the
+// explicit identifier array for every identifier in a small space.
+func TestEvenSuccessorClosedForm(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 7, 64, 100} {
+		bits := 10
+		r := MustNew(n, Options{Bits: bits})
+		space := uint64(1) << uint(bits)
+		for id := uint64(0); id < space; id++ {
+			got := r.SuccessorOf(id)
+			// Reference: first node (clockwise, wrapping to 0) whose
+			// identifier is >= id.
+			want := 0
+			for i := 0; i < n; i++ {
+				if r.ID(i) >= id {
+					want = i
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("n=%d id=%d: SuccessorOf = %d, want %d", n, id, got, want)
+			}
+		}
+	}
+}

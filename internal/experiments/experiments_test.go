@@ -93,7 +93,7 @@ func TestA3(t *testing.T)  { runAndCheck(t, "A3") }
 // asymptotic-fit verdicts, which the CI smoke tier (benchtab -experiment
 // SC1 -quick, n up to 10^5) enforces at full strength.
 func TestSC1SmallSizes(t *testing.T) {
-	rep, err := runSC1(quickCfg, []int{1000, 4000, 16000}, sc1Topologies)
+	rep, err := runSC1(quickCfg, []int{1000, 4000, 16000}, sc1Topologies, 16000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,9 +101,9 @@ func TestSC1SmallSizes(t *testing.T) {
 		t.Fatal("SC1 produced no tables")
 	}
 	for _, v := range rep.Verdicts {
-		if strings.Contains(v.Name, "bit-identical") {
+		if strings.Contains(v.Name, "bit-identical") || strings.Contains(v.Name, "≥5×") {
 			if !v.Pass {
-				t.Errorf("SC1 shard verdict failed: %s (%s)", v.Name, v.Detail)
+				t.Errorf("SC1 deterministic verdict failed: %s (%s)", v.Name, v.Detail)
 			}
 			continue
 		}

@@ -1,12 +1,21 @@
 // SC1 — the empirical scaling study behind the paper's headline claim:
 // aggregates converge in O(log n) rounds with O(n log log n) messages,
 // numbers that only become interesting (and falsifiable) at large n.
-// SC1 sweeps the Ave pipeline from n = 10^3 up to n = 10^6 on the
+// SC1 sweeps the Ave pipeline from n = 10^3 up to n = 10^7 on the
 // Complete, Chord and SmallWorld topologies through the public session
 // facade in scale mode (Config.Workers sharded delivery, no PerNode
 // materialization), fits the observed rounds and message bills against
-// the per-topology reference curves, and pins the sharding contract by
-// re-running the largest Chord size with 1, 4 and 8 workers.
+// the per-topology reference curves, and pins three contracts:
+//
+//   - sharding: the largest tractable Chord size re-run with 1, 4 and 8
+//     workers must be bit-identical;
+//   - representation: re-running mid-ladder Chord and SmallWorld sizes
+//     with Config.LegacySliceAdjacency must reproduce the implicit/CSR
+//     answers bit-for-bit;
+//   - memory: the chord memory leg (n = 10^6 in both tiers) must fit a
+//     fixed peak-RSS budget, and the implicit chord graph must be at
+//     least 5× smaller than the materialized slice adjacency it
+//     replaced.
 //
 // Reference curves per topology (the paper proves different bounds for
 // dense and sparse networks — fitting everything against n log log n
@@ -22,11 +31,16 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"os"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"time"
 
 	facade "drrgossip"
 	"drrgossip/internal/agg"
+	"drrgossip/internal/chord"
 	"drrgossip/internal/metrics"
 	"drrgossip/internal/tablefmt"
 	"drrgossip/internal/xrand"
@@ -40,20 +54,47 @@ const sc1Workers = 8
 // sc1Topologies are the topologies the scaling study sweeps.
 var sc1Topologies = []facade.Topology{facade.Complete, facade.Chord, facade.SmallWorld}
 
-// sc1SmallWorldCap bounds the SmallWorld ladder in the full tier: its
-// Θ(n) root count (Theorem 13) makes the routed message bill ~n·log² n,
-// so the 10^6 point alone would dominate the whole study's runtime. The
-// cap is reported in the table — never silently applied — and the full
-// ladder is carried by Complete and Chord.
-const sc1SmallWorldCap = 300_000
+// sc1SmallWorldCap bounds the SmallWorld ladder: its Θ(n) root count
+// (Theorem 13) makes the routed message bill ~n·log² n, so the 10^7
+// point alone would dominate the whole study's runtime. The sharded CSR
+// builder lifted the previous 3×10^5 storage ceiling; a million nodes is
+// now the time-bounded cap. It is reported in the table — never silently
+// applied — and the full ladder is carried by Complete and Chord.
+const sc1SmallWorldCap = 1_000_000
 
-// sc1Sizes returns the sweep sizes: the full tier tops out at a million
-// nodes, the quick (CI smoke) tier at a hundred thousand.
+// sc1MemLegN is the chord memory-leg size RunSC1 uses in both tiers:
+// the n = 10^6 pipeline run whose peak RSS the fixed budget bounds (the
+// CI scale-smoke assertion), and the graph-representation comparison
+// behind the ≥5× verdict.
+const sc1MemLegN = 1_000_000
+
+// sc1MemBudgetMB is the peak-RSS budget for the chord memory leg at
+// n = 10^6. The leg runs under a soft runtime memory limit
+// (sc1MemLimit) that makes the GC bound the transient Θ(|E|) rank-burst
+// heap — the live set is ~5 GB of in-flight messages, unconstrained GC
+// headroom used to push peak RSS past 11 GB — and the budget allows
+// ~2 GB of non-heap/overshoot slack on top of that limit. The implicit
+// graph itself contributes nothing (the materialized chord adjacency it
+// replaced added ~1 GB on its own).
+const sc1MemBudgetMB = 10240
+
+// sc1MemLimit is the soft Go runtime memory limit active during the
+// memory leg (see sc1MemBudgetMB).
+const sc1MemLimit = 8 << 30
+
+// sc1ShardMax caps the size of the worker-sweep legs: chord at 10^7 is
+// a multi-hour single run, so the sharding contract is pinned at a
+// million nodes (still the scale-mode acceptance bar).
+const sc1ShardMax = 1_000_000
+
+// sc1Sizes returns the sweep sizes: the full tier tops out at ten
+// million nodes (Complete and Chord only — see sc1SmallWorldCap), the
+// quick (CI smoke) tier at a hundred thousand.
 func sc1Sizes(cfg Config) []int {
 	if cfg.Quick {
 		return []int{1000, 10000, 100000}
 	}
-	return []int{1000, 10000, 100000, 1000000}
+	return []int{1000, 10000, 100000, 1000000, 10000000}
 }
 
 // shapeSqrtN is the non-polylog alternative the sparse-topology verdicts
@@ -63,24 +104,54 @@ var shapeSqrtN = metrics.Shape{Name: "sqrt n", F: math.Sqrt}
 
 // RunSC1 runs the scaling study at the configured tier.
 func RunSC1(cfg Config) (*Report, error) {
-	return runSC1(cfg, sc1Sizes(cfg), sc1Topologies)
+	return runSC1(cfg, sc1Sizes(cfg), sc1Topologies, sc1MemLegN)
 }
 
-// memSysMB returns the Go runtime's OS memory footprint (MemStats.Sys)
-// in MiB — a monotone high-water mark standing in for RSS. Pure
-// observability (host-dependent), never part of a verdict; nothing is
-// retained between runs, so the post-run live heap would read ~0.
-func memSysMB() float64 {
+// peakRSSMB returns the process peak resident set in MiB, read from
+// /proc/self/status VmHWM, falling back to the Go runtime's OS footprint
+// (MemStats.Sys) where procfs is unavailable. Both are monotone process
+// high-water marks, which is why the memory leg runs before the ladder:
+// its reading reflects only the budgeted run.
+func peakRSSMB() float64 {
+	if status, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(status), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					return kb / 1024
+				}
+			}
+		}
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return float64(ms.Sys) / (1 << 20)
 }
 
-// runSC1 is RunSC1 over explicit sizes (the in-repo tests shrink them).
-func runSC1(cfg Config, sizes []int, topos []facade.Topology) (*Report, error) {
-	rep := &Report{ID: "SC1", Title: "Scaling study: rounds and messages from 10^3 to 10^6 nodes"}
+// liveHeapMB returns the post-GC live heap in MiB; deltas around a
+// construction measure what the built object retains.
+func liveHeapMB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+// runSC1 is RunSC1 over explicit sizes and memory-leg size (the in-repo
+// tests shrink both to stay fast).
+func runSC1(cfg Config, sizes []int, topos []facade.Topology, memLegN int) (*Report, error) {
+	rep := &Report{ID: "SC1", Title: "Scaling study: rounds, messages and memory from 10^3 to 10^7 nodes"}
+	if !cfg.Quick {
+		// Soft-limit the heap well under the study's budget so the 10^7
+		// legs trade GC effort for headroom instead of risking the OOM
+		// killer; restored on return.
+		defer debug.SetMemoryLimit(debug.SetMemoryLimit(100 << 30))
+	}
 	tb := tablefmt.New(fmt.Sprintf("SC1: Ave at scale (workers=%d, lossless)", sc1Workers),
-		"topology", "n", "rounds", "msgs", "msgs/n", "msgs/(n loglog n)", "trees", "elapsed", "rssMB")
+		"topology", "n", "rounds", "msgs", "msgs/n", "msgs/(n loglog n)", "trees", "elapsed", "graphMB", "rssMB")
 
 	// series[topo][metric] parallels topoNs[topo]: the SmallWorld ladder
 	// may be shorter than the others (sc1SmallWorldCap).
@@ -96,23 +167,72 @@ func runSC1(cfg Config, sizes []int, topos []facade.Topology) (*Report, error) {
 	genValues := func(n int) []float64 {
 		return agg.GenUniform(n, 0, 1000, xrand.Hash(cfg.Seed, 0x5C2, uint64(n)))
 	}
-	measure := func(topo facade.Topology, n, workers int, values []float64) (*facade.Answer, time.Duration, error) {
-		fc := facade.Config{N: n, Seed: xrand.Hash(cfg.Seed, 0x5C1, uint64(n)), Topology: topo, Workers: workers}
+	// measure runs one Ave through the facade; graphMB is the live-heap
+	// delta retained by the session build (overlay storage dominates it:
+	// ~0 for implicit Complete/Chord, the CSR arrays for SmallWorld, the
+	// full jagged adjacency under LegacySliceAdjacency).
+	measure := func(topo facade.Topology, n, workers int, legacyAdj bool, values []float64) (*facade.Answer, time.Duration, float64, error) {
+		fc := facade.Config{N: n, Seed: xrand.Hash(cfg.Seed, 0x5C1, uint64(n)), Topology: topo,
+			Workers: workers, LegacySliceAdjacency: legacyAdj}
+		h0 := liveHeapMB()
 		net, err := facade.New(fc)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
+		graphMB := math.Max(0, liveHeapMB()-h0)
 		start := time.Now()
 		ans, err := net.Average(values)
-		return ans, time.Since(start), err
+		return ans, time.Since(start), graphMB, err
 	}
 
+	// Memory leg first: peak RSS is process-monotone, so the budgeted
+	// chord run must happen before the (larger) ladder sizes touch the
+	// high-water mark.
+	memBudgetMB := max(1536, sc1MemBudgetMB*memLegN/sc1MemLegN)
+	memValues := genValues(memLegN)
+	prevLimit := debug.SetMemoryLimit(sc1MemLimit)
+	memAns, memElapsed, _, err := measure(facade.Chord, memLegN, sc1Workers, false, memValues)
+	debug.SetMemoryLimit(prevLimit)
+	if err != nil {
+		return nil, fmt.Errorf("SC1 memory leg chord n=%d: %w", memLegN, err)
+	}
+	memPeak := peakRSSMB()
+	memWant := agg.Exact(agg.Average, memValues, 0)
+	if agg.RelError(memAns.Value, memWant) > 1e-4 {
+		return nil, fmt.Errorf("SC1 memory leg: Ave %v drifted from exact %v", memAns.Value, memWant)
+	}
+	memValues = nil
+
+	// Graph-representation footprint at the same size: the implicit
+	// chord graph (closed-form successor arithmetic, no stored lists)
+	// versus the materialized jagged adjacency it replaced.
+	ring, err := chord.New(memLegN, chord.Options{Seed: xrand.Hash(cfg.Seed, 0x5C1, uint64(memLegN))})
+	if err != nil {
+		return nil, fmt.Errorf("SC1 memory leg ring: %w", err)
+	}
+	h0 := liveHeapMB()
+	ig := ring.Graph()
+	var nbuf []int
+	nbuf = ig.NeighborsInto(0, nbuf) // touch the lazy scratch paths
+	implicitMB := math.Max(0, liveHeapMB()-h0)
+	h0 = liveHeapMB()
+	mg := ring.MaterializedGraph()
+	legacyMB := math.Max(0, liveHeapMB()-h0)
+	if len(nbuf) == 0 || mg.N() != ig.N() {
+		return nil, fmt.Errorf("SC1 memory leg: degenerate graphs (deg %d)", len(nbuf))
+	}
+	mg, ig, ring = nil, nil, nil
+
 	chordMax := sizes[len(sizes)-1]
+	chordShardN := min(chordMax, sc1ShardMax)
 	type shardLeg struct {
 		ans     *facade.Answer
 		elapsed time.Duration
 	}
-	shardLegs := map[int]shardLeg{} // workers -> chord run at chordMax
+	shardLegs := map[int]shardLeg{} // workers -> chord run at chordShardN
+	// answers[topo][n] keeps the ladder's runs for the representation
+	// identity re-runs below.
+	answers := map[string]map[int]*facade.Answer{}
 
 	capped := false
 	for _, topo := range topos {
@@ -122,7 +242,7 @@ func runSC1(cfg Config, sizes []int, topos []facade.Topology) (*Report, error) {
 				continue
 			}
 			values := genValues(n)
-			ans, elapsed, err := measure(topo, n, sc1Workers, values)
+			ans, elapsed, graphMB, err := measure(topo, n, sc1Workers, false, values)
 			if err != nil {
 				return nil, fmt.Errorf("SC1 %s n=%d: %w", topo, n, err)
 			}
@@ -130,34 +250,37 @@ func runSC1(cfg Config, sizes []int, topos []facade.Topology) (*Report, error) {
 			if agg.RelError(ans.Value, want) > 1e-4 {
 				return nil, fmt.Errorf("SC1 %s n=%d: Ave %v drifted from exact %v", topo, n, ans.Value, want)
 			}
-			if topo == facade.Chord && n == chordMax {
+			if topo == facade.Chord && n == chordShardN {
 				shardLegs[sc1Workers] = shardLeg{ans: ans, elapsed: elapsed}
 			}
+			if answers[topo.String()] == nil {
+				answers[topo.String()] = map[int]*facade.Answer{}
+			}
+			answers[topo.String()][n] = ans
 			nf := float64(n)
 			loglog := math.Log2(math.Log2(nf))
 			tb.AddRow(topo.String(), n, float64(ans.Cost.Rounds), float64(ans.Cost.Messages),
 				float64(ans.Cost.Messages)/nf, float64(ans.Cost.Messages)/(nf*loglog),
-				ans.Trees, elapsed.Seconds(), memSysMB())
+				ans.Trees, elapsed.Seconds(), graphMB, peakRSSMB())
 			record(topo.String(), "rounds", float64(ans.Cost.Rounds))
 			record(topo.String(), "msgs/n", float64(ans.Cost.Messages)/nf)
 			topoNs[topo.String()] = append(topoNs[topo.String()], nf)
 		}
 	}
-	tb.AddNote("elapsed and rssMB (Go runtime OS-footprint high-water, monotone across rows) are host-dependent observability columns; every other column is deterministic in the seed")
+	tb.AddNote("elapsed and rssMB (peak RSS via VmHWM, monotone across rows) are host-dependent observability columns; graphMB is the live-heap delta retained by the session build; every other column is deterministic in the seed")
 	if capped {
-		tb.AddNote("smallworld capped at n=%d: its Θ(n) root count makes the routed bill ~n·log² n (the full ladder is carried by complete and chord)", sc1SmallWorldCap)
+		tb.AddNote("smallworld capped at n=%d: its Θ(n) root count makes the routed bill ~n·log² n (the full ladder is carried by complete and chord; the old 3×10^5 storage ceiling is gone with the CSR builder)", sc1SmallWorldCap)
 	}
 
-	// Sharding contract at the largest size: Chord Ave must be
-	// bit-identical for 1, 4 and 8 workers (the acceptance bar of the
-	// scale mode — at the full tier this is the million-node run; the
-	// sweep above already produced the workers=8 leg).
-	values := genValues(chordMax)
+	// Sharding contract: Chord Ave must be bit-identical for 1, 4 and 8
+	// workers at the million-node scale-mode acceptance bar (the sweep
+	// above already produced the workers=8 leg).
+	values := genValues(chordShardN)
 	for _, workers := range []int{1, 4, 8} {
 		if _, done := shardLegs[workers]; done {
 			continue
 		}
-		ans, elapsed, err := measure(facade.Chord, chordMax, workers, values)
+		ans, elapsed, _, err := measure(facade.Chord, chordShardN, workers, false, values)
 		if err != nil {
 			return nil, fmt.Errorf("SC1 shard check workers=%d: %w", workers, err)
 		}
@@ -170,9 +293,41 @@ func runSC1(cfg Config, sizes []int, topos []facade.Topology) (*Report, error) {
 		leg := shardLegs[workers]
 		shardDetail += fmt.Sprintf("w=%d: value %.9g cost %+v (%.1fs); ",
 			workers, leg.ans.Value, leg.ans.Cost, leg.elapsed.Seconds())
-		if leg.ans.Value != ref.Value || leg.ans.Cost != ref.Cost || leg.ans.Consensus != ref.Consensus ||
-			leg.ans.Trees != ref.Trees || leg.ans.Alive != ref.Alive {
+		if !sameAnswer(leg.ans, ref) {
 			shardOK = false
+		}
+	}
+
+	// Representation contract: mid-ladder sizes re-run on materialized
+	// jagged slices (LegacySliceAdjacency) must reproduce the
+	// implicit/CSR answers bit-for-bit. Chord re-runs at the largest
+	// ladder size <= 10^5, SmallWorld at <= 10^4 (the jagged rebuild is
+	// the expensive part being replaced, so the identity check stays
+	// cheap).
+	repOK := true
+	repDetail := ""
+	for _, rc := range []struct {
+		topo facade.Topology
+		cap  int
+	}{{facade.Chord, 100_000}, {facade.SmallWorld, 10_000}} {
+		repN := 0
+		for n := range answers[rc.topo.String()] {
+			if n <= rc.cap && n > repN {
+				repN = n
+			}
+		}
+		if repN == 0 {
+			continue
+		}
+		ans, _, graphMB, err := measure(rc.topo, repN, sc1Workers, true, genValues(repN))
+		if err != nil {
+			return nil, fmt.Errorf("SC1 representation check %s n=%d: %w", rc.topo, repN, err)
+		}
+		same := sameAnswer(ans, answers[rc.topo.String()][repN])
+		repDetail += fmt.Sprintf("%s n=%d: legacy value %.9g cost %+v graphMB %.1f match=%v; ",
+			rc.topo, repN, ans.Value, ans.Cost, graphMB, same)
+		if !same {
+			repOK = false
 		}
 	}
 
@@ -202,8 +357,23 @@ func runSC1(cfg Config, sizes []int, topos []facade.Topology) (*Report, error) {
 		verdictf("smallworld: per-node messages stay polylogarithmic (closer to log² n than √n)",
 			metrics.CloserShape(swNs, sw["msgs/n"], metrics.ShapeLog2N, shapeSqrtN),
 			"msgs/n %v -> %v", sw["msgs/n"][0], last(sw["msgs/n"])),
-		verdictf(fmt.Sprintf("sharded execution is bit-identical for workers ∈ {1,4,8} at n=%d (chord)", chordMax),
+		verdictf(fmt.Sprintf("sharded execution is bit-identical for workers ∈ {1,4,8} at n=%d (chord)", chordShardN),
 			shardOK, "%s", shardDetail),
+		verdictf("legacy slice adjacency is bit-identical to implicit/CSR storage (chord + smallworld re-runs)",
+			repOK, "%s", repDetail),
+		verdictf(fmt.Sprintf("chord n=%d: implicit graph is ≥5× leaner than materialized slice adjacency", memLegN),
+			legacyMB >= 5*math.Max(implicitMB, 0.25),
+			"implicit %.2f MB vs materialized %.1f MB", implicitMB, legacyMB),
+		verdictf(fmt.Sprintf("chord n=%d memory leg fits the fixed budget: peak RSS ≤ %d MB", memLegN, memBudgetMB),
+			memPeak <= float64(memBudgetMB),
+			"peak RSS %.0f MB after the %0.1fs pipeline run (cost %+v)", memPeak, memElapsed.Seconds(), memAns.Cost),
 	)
 	return rep, nil
+}
+
+// sameAnswer reports whether two runs produced bit-identical results in
+// every deterministic field.
+func sameAnswer(a, b *facade.Answer) bool {
+	return a.Value == b.Value && a.Cost == b.Cost && a.Consensus == b.Consensus &&
+		a.Trees == b.Trees && a.Alive == b.Alive
 }

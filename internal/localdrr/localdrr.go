@@ -86,12 +86,17 @@ func Run(eng *sim.Engine, g *graph.Graph, opts Options) (*Result, error) {
 		best[i] = -1
 		bestRank[i] = math.Inf(-1)
 	}
+	// nbuf is this run's private neighbour buffer: parallel batch workers
+	// share one overlay graph, so the graph-owned Neighbors scratch of
+	// implicit/CSR representations must not be touched from here.
+	nbuf := make([]int, 0, 64)
 	for r := 0; r < exchanges; r++ {
 		for i := 0; i < n; i++ {
 			if !eng.Alive(i) {
 				continue
 			}
-			for _, nb := range g.Neighbors(i) {
+			nbuf = g.NeighborsInto(i, nbuf)
+			for _, nb := range nbuf {
 				eng.Send(i, nb, sim.Payload{Kind: kindRank, A: ranks[i], X: int64(i)})
 			}
 		}

@@ -65,10 +65,12 @@ func bfsTree(g *graph.Graph, src int) (dist, parent []int) {
 	}
 	dist[src] = 0
 	queue := []int{src}
+	var nbuf []int // own buffer: keeps graph scratch untouched
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, w := range g.Neighbors(u) {
+		nbuf = g.NeighborsInto(u, nbuf)
+		for _, w := range nbuf {
 			if dist[w] < 0 {
 				dist[w] = dist[u] + 1
 				parent[w] = u

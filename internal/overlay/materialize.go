@@ -1,0 +1,46 @@
+package overlay
+
+import (
+	"fmt"
+
+	"drrgossip/internal/chord"
+	"drrgossip/internal/graph"
+)
+
+// NewChordMaterialized wraps a Chord ring as an Overlay whose
+// communication graph uses the historical jagged-slice adjacency
+// (ring.MaterializedGraph) instead of the implicit representation.
+// Routing and sampling are the ring's own either way, so answers are
+// bit-identical to NewChord — only the graph storage differs. It exists
+// for cross-representation identity checks and memory studies.
+func NewChordMaterialized(ring *chord.Ring) *Chord {
+	return &Chord{ring: ring, g: ring.MaterializedGraph()}
+}
+
+// Materialize returns an overlay equivalent to ov whose communication
+// graph is stored as jagged slices (the pre-CSR layout): same node set,
+// same edges, same routes and samples, different storage. Chord overlays
+// keep their ring router on a materialized finger graph; landmark
+// overlays are rebuilt on a jagged copy of their graph (BFS tree
+// construction is deterministic in the graph content, so routes are
+// identical). Used by the facade's LegacySliceAdjacency mode and the SC1
+// memory study.
+func Materialize(ov Overlay) (Overlay, error) {
+	switch o := ov.(type) {
+	case *Chord:
+		return NewChordMaterialized(o.Ring()), nil
+	case *Landmark:
+		g := o.Graph()
+		lists := make([][]int, g.N())
+		for u := range lists {
+			lists[u] = g.NeighborsInto(u, nil)
+		}
+		jg, err := graph.LegacyJagged(g.Name(), lists)
+		if err != nil {
+			return nil, fmt.Errorf("overlay: materialize %s: %w", ov.Name(), err)
+		}
+		return NewLandmark(jg)
+	default:
+		return nil, fmt.Errorf("overlay: cannot materialize %T", ov)
+	}
+}

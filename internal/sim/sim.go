@@ -162,12 +162,23 @@ type Engine struct {
 
 	// ring holds in-flight messages keyed by delivery round and
 	// destination shard: ring[r&ringMask][shardOf(to)] is the queue for
-	// absolute round r. Queue backing arrays are truncated, not freed,
-	// after delivery, so steady-state scheduling allocates nothing; the
-	// ring grows (power of two) when a routed send's horizon exceeds it.
+	// absolute round r. A drained queue's backing array is detached from
+	// its slot and recycled through the shared pool below, so
+	// steady-state scheduling allocates nothing; the ring grows (power of
+	// two) when a routed send's horizon exceeds it.
 	ring     [][][]Message
 	ringMask int
 	inflight int // messages scheduled and not yet delivered or discarded
+
+	// pool recycles drained queue backing arrays across ring slots and
+	// shards (LIFO). Before pooling, every slot×shard queue kept its own
+	// high-water capacity forever, so routed sends spreading bursts over
+	// 2·log n future slots retained the sum of per-slot peaks; the pool
+	// bounds total retained queue capacity by poolBudget — arrays that
+	// would exceed it are dropped for the GC instead of parked.
+	pool       [][]Message
+	poolCap    int // total capacity currently parked in pool
+	poolBudget int // retention cap, in messages (64 B each)
 
 	// shards/shardSize partition the node id space for Tick's delivery
 	// step; touched[s] lists the shard-s inboxes filled at the last Tick
@@ -211,6 +222,10 @@ func NewEngine(n int, opts Options) *Engine {
 		ringMask: initialRingSize - 1,
 		rngs:     make([]xrand.Stream, n),
 		rngSet:   make([]bool, n),
+		// Enough pooled capacity for several steady-state rounds of
+		// O(n) traffic; burst rounds (e.g. an O(|E|) rank exchange) may
+		// exceed it and are then freed rather than retained.
+		poolBudget: max(8192, 4*n),
 	}
 	e.Reset(opts)
 	return e
@@ -265,6 +280,17 @@ func (e *Engine) Reset(opts Options) {
 	for i := range e.inbox {
 		e.inbox[i] = e.inbox[i][:0]
 	}
+	// Drained or abandoned queues go back to the pool (the pool itself
+	// survives Reset — reusing an engine is exactly when recycled
+	// capacity pays off).
+	for slot := range e.ring {
+		for sh := range e.ring[slot] {
+			if q := e.ring[slot][sh]; q != nil {
+				e.ring[slot][sh] = nil
+				e.recycle(q)
+			}
+		}
+	}
 	if s := normShards(opts.Shards, e.n); s != e.shards {
 		e.shards = s
 		e.shardSize = (e.n + s - 1) / s
@@ -273,11 +299,6 @@ func (e *Engine) Reset(opts Options) {
 		}
 		e.touched = make([][]int, s)
 	} else {
-		for slot := range e.ring {
-			for sh := range e.ring[slot] {
-				e.ring[slot][sh] = e.ring[slot][sh][:0]
-			}
-		}
 		for sh := range e.touched {
 			e.touched[sh] = e.touched[sh][:0]
 		}
@@ -548,9 +569,10 @@ func (e *Engine) Tick() {
 		}
 	}
 	for sh := range e.ring[slot] {
-		if msgs := e.ring[slot][sh]; len(msgs) > 0 {
+		if msgs := e.ring[slot][sh]; msgs != nil {
 			e.inflight -= len(msgs)
-			e.ring[slot][sh] = msgs[:0] // keep the backing array for reuse
+			e.ring[slot][sh] = nil
+			e.recycle(msgs) // back to the shared pool (or the GC)
 		}
 	}
 	if e.observer != nil {
@@ -565,6 +587,31 @@ func (e *Engine) Inbox(i int) []Message { return e.inbox[i] }
 // PendingEmpty reports whether any message is still in flight.
 func (e *Engine) PendingEmpty() bool { return e.inflight == 0 }
 
+// recycle parks a drained queue's backing array in the pool for reuse by
+// any slot×shard queue, unless retaining it would push the pool past its
+// capacity budget — burst arrays (an O(|E|) rank exchange at 10^7 nodes)
+// are dropped for the GC instead of ballooning the resident set. Pool
+// traffic happens only on the engine's sequential path (Tick's drain
+// loop, Reset, scheduleAt), never from delivery workers.
+func (e *Engine) recycle(q []Message) {
+	if c := cap(q); c > 0 && e.poolCap+c <= e.poolBudget {
+		e.pool = append(e.pool, q[:0])
+		e.poolCap += c
+	}
+}
+
+// popQueue takes the most recently recycled backing array, or nil when
+// the pool is empty (append will then allocate).
+func (e *Engine) popQueue() []Message {
+	if len(e.pool) == 0 {
+		return nil
+	}
+	q := e.pool[len(e.pool)-1]
+	e.pool = e.pool[:len(e.pool)-1]
+	e.poolCap -= cap(q)
+	return q
+}
+
 // scheduleAt enqueues a delivery for the given absolute round (which is
 // always in the future: sends schedule at e.c.Rounds+k, k >= 1, so a
 // slot holds messages for exactly one round at a time). Queuing by the
@@ -576,14 +623,18 @@ func (e *Engine) scheduleAt(round int, m Message) {
 	}
 	slot := round & e.ringMask
 	sh := m.To / e.shardSize
-	e.ring[slot][sh] = append(e.ring[slot][sh], m)
+	q := e.ring[slot][sh]
+	if q == nil {
+		q = e.popQueue()
+	}
+	e.ring[slot][sh] = append(q, m)
 	e.inflight++
 }
 
 // growRing widens the delivery ring to at least `need` slots (next power
 // of two), re-filing the occupied slots at their new positions. Per-shard
-// queues — including empty recycled ones — move wholesale, so no capacity
-// is lost.
+// queues move wholesale (drained slots are nil; their capacity lives in
+// the pool), so nothing in flight or recycled is lost.
 func (e *Engine) growRing(need int) {
 	size := len(e.ring)
 	for size < need {

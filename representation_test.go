@@ -1,0 +1,56 @@
+package drrgossip
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Answers must be bit-identical whether the overlay stores its graph
+// implicitly/CSR (default) or as materialized jagged slices
+// (LegacySliceAdjacency), at every worker count.
+func TestFacadeBitIdenticalAcrossRepresentations(t *testing.T) {
+	for _, topo := range []Topology{Chord, SmallWorld, Torus} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/w%d", topo, workers), func(t *testing.T) {
+				cfg := Config{N: 512, Seed: 41, Topology: topo, Workers: workers}
+				legacy := cfg
+				legacy.LegacySliceAdjacency = true
+				values := uniformValues(cfg.N, 42)
+
+				res, err := Average(cfg, values)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lres, err := Average(legacy, values)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Value != lres.Value || res.Rounds != lres.Rounds ||
+					res.Messages != lres.Messages || res.Drops != lres.Drops ||
+					res.Trees != lres.Trees || res.Alive != lres.Alive ||
+					res.Consensus != lres.Consensus {
+					t.Fatalf("Average diverges across representations:\n%+v\n%+v", res, lres)
+				}
+				for i := range res.PerNode {
+					a, b := res.PerNode[i], lres.PerNode[i]
+					if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+						t.Fatalf("PerNode[%d] differs: %v vs %v", i, a, b)
+					}
+				}
+
+				q, err := Quantile(cfg, values, 0.5, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lq, err := Quantile(legacy, values, 0.5, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if *q != *lq {
+					t.Fatalf("Quantile diverges across representations:\n%+v\n%+v", q, lq)
+				}
+			})
+		}
+	}
+}

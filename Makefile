@@ -41,14 +41,23 @@ bench-smoke:
 
 # Engine hot-path benchmarks (BenchmarkPerf*): runs them with -benchmem
 # and writes BENCH_PERF.json (ns/op, allocs/op, msgs/node) so the perf
-# trajectory has a machine-readable baseline.
+# trajectory has a machine-readable baseline. -count 3 lets perfjson
+# keep the per-metric minimum across repetitions — contention noise on
+# shared runners is one-sided, so min-of-runs stabilizes the ns/op
+# ratios that the telemetry overhead budget below is checked against.
 bench-perf:
-	$(GO) test -run '^$$' -bench '^BenchmarkPerf' -benchmem -benchtime 30x . | $(GO) run ./cmd/perfjson -out BENCH_PERF.json
+	$(GO) test -run '^$$' -bench '^BenchmarkPerf' -benchmem -benchtime 30x -count 3 . | $(GO) run ./cmd/perfjson -out BENCH_PERF.json
 
 # Regression guard: fails when allocs/op on the pinned engine benchmarks
-# regresses >20% against the checked-in BENCH_PERF_BASELINE.json.
+# regresses >20% against the checked-in BENCH_PERF_BASELINE.json, or
+# when the live-telemetry session exceeds its wall-clock overhead budget
+# over the telemetry-off session. The overhead comes from the paired
+# benchmark (off and ring sessions interleaved in one loop), the one
+# wall-clock comparison that survives both machine changes and CI
+# runner load drift.
 bench-guard: bench-perf
-	$(GO) run ./cmd/perfjson -check BENCH_PERF.json -baseline BENCH_PERF_BASELINE.json
+	$(GO) run ./cmd/perfjson -check BENCH_PERF.json -baseline BENCH_PERF_BASELINE.json \
+		-overhead "PerfTelemetry/paired:1.05"
 
 # Scaling study (SC1): the CI smoke tier sweeps the ladder up to 10^5
 # (plus the chord 10^6 memory leg with its peak-RSS budget verdict) and

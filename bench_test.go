@@ -9,6 +9,7 @@ package drrgossip
 
 import (
 	"testing"
+	"time"
 
 	"drrgossip/internal/agg"
 	"drrgossip/internal/chord"
@@ -25,6 +26,7 @@ import (
 	"drrgossip/internal/oblivious"
 	"drrgossip/internal/pietro"
 	"drrgossip/internal/sim"
+	"drrgossip/internal/telemetry"
 )
 
 const benchN = 4096
@@ -474,6 +476,66 @@ func BenchmarkPerfQuantileSession(b *testing.B) {
 	}
 	b.ReportMetric(float64(runs), "runs")
 	b.ReportMetric(float64(msgs)/float64(n), "msgs/node")
+}
+
+// BenchmarkPerfTelemetry pins the observability overhead contract on a
+// full Quantile session: `off` is the facade with no telemetry
+// configured (must stay allocation-identical to the plain session — the
+// disabled tap adds zero allocs), `ring` is the live-monitoring
+// configuration (in-memory Ring, round events every 8 rounds — the
+// stride also gates the drivers' residual scans, see
+// Engine.SetResidualStride). The bench-guard checks `ring` against
+// `off` with a ns/op ratio budget (-overhead: same report, same
+// machine, so the comparison survives hardware changes) on top of the
+// usual allocs/op pins. n is larger than PerfQuantileSession's because
+// the telemetry cost is per *round*, not per message — a monitoring
+// deployment amortizes the tap over real per-round work, and small n
+// would mostly measure timer noise.
+func BenchmarkPerfTelemetry(b *testing.B) {
+	const n = 4096
+	values := benchValues(n)
+	run := func(b *testing.B, opts *telemetry.Options) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nw, err := New(Config{N: n, Seed: uint64(i) + 1, Telemetry: opts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := nw.Quantile(values, 0.9, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("ring", func(b *testing.B) {
+		run(b, &telemetry.Options{Sink: telemetry.NewRing(8192), RoundEvery: 8})
+	})
+	// Shared runners drift on the timescale of whole sub-benchmarks, so a
+	// ratio of the two results above is too noisy to gate on. The paired
+	// variant interleaves an off and a ring session inside every
+	// iteration — both halves see the same machine conditions — and
+	// reports the wall-clock ratio directly as the overhead-x metric,
+	// which the bench-guard pins (<= 1.05).
+	b.Run("paired", func(b *testing.B) {
+		ring := &telemetry.Options{Sink: telemetry.NewRing(8192), RoundEvery: 8}
+		one := func(opts *telemetry.Options, seed uint64) time.Duration {
+			nw, err := New(Config{N: n, Seed: seed, Telemetry: opts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := time.Now()
+			if _, err := nw.Quantile(values, 0.9, 0.5); err != nil {
+				b.Fatal(err)
+			}
+			return time.Since(start)
+		}
+		var tOff, tRing time.Duration
+		for i := 0; i < b.N; i++ {
+			tOff += one(nil, uint64(i)+1)
+			tRing += one(ring, uint64(i)+1)
+		}
+		b.ReportMetric(float64(tRing)/float64(tOff), "overhead-x")
+	})
 }
 
 // BenchmarkPerfRunAllBatch compares sequential and concurrent execution

@@ -14,6 +14,11 @@
 //	go run ./cmd/benchtab -topology chord,torus,regular:6
 //	go run ./cmd/benchtab -experiment FT1 -json    # machine-readable BENCH_FT1.json
 //	go run ./cmd/benchtab -topology all -faults "crash:0.2@0.5"
+//	go run ./cmd/benchtab -experiment SC1 -http 127.0.0.1:8123   # live /metrics + pprof
+//
+// With -http the process serves Prometheus-style metrics on /metrics,
+// expvar on /debug/vars and net/http/pprof on /debug/pprof/ while the
+// session-API experiments (FT1, QB1, SC1) run; see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"drrgossip/internal/experiments"
+	"drrgossip/internal/telemetry"
 )
 
 // jsonReport is the machine-readable form emitted by -json for
@@ -83,6 +89,7 @@ func run() int {
 		workers  = flag.Int("workers", 0, "fan independent replications across this many workers (0 = GOMAXPROCS, 1 = sequential); reports are bit-identical for any value")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		httpAddr = flag.String("http", "", "serve live Prometheus /metrics, expvar and pprof on this address while experiments run (e.g. 127.0.0.1:8123)")
 	)
 	flag.Parse()
 
@@ -126,6 +133,19 @@ func run() int {
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials, FaultSpec: *faults, Workers: *workers}
 	if *progress {
 		cfg.Progress = os.Stderr
+	}
+	if *httpAddr != "" {
+		metrics := telemetry.NewMetrics()
+		srv, addr, err := telemetry.Serve(*httpAddr, metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: -http: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "benchtab: serving /metrics, /debug/vars and /debug/pprof/ on http://%s\n", addr)
+		// A coarse round stride keeps the tap cheap: the gauges only need
+		// to move at scrape granularity, not every simulated round.
+		cfg.Telemetry = &telemetry.Options{Sink: metrics, RoundEvery: 64}
 	}
 
 	if *topoFlag != "" {

@@ -18,6 +18,16 @@
 //	go run ./cmd/drrgossip -n 1024 -agg average -faults "crash:0.2@0.5"
 //	go run ./cmd/drrgossip -n 1024 -agg sum -faults "churn:0.3:40" -progress 200
 //	go run ./cmd/drrgossip -n 1000000 -agg average -topology chord -workers 8
+//	go run ./cmd/drrgossip -n 4096 -agg quantile -trace trace.json   # chrome://tracing
+//	go run ./cmd/drrgossip -n 4096 -agg average -events run.jsonl
+//	go run ./cmd/drrgossip -n 100000 -agg quantile -http 127.0.0.1:8123
+//
+// -trace writes the whole session as a Chrome trace-event timeline
+// (open in chrome://tracing or https://ui.perfetto.dev), -events
+// streams the raw structured events as JSON Lines, and -http serves
+// live /metrics, /debug/vars and /debug/pprof/ while the query runs.
+// The per-phase cost table printed after every run comes from
+// Answer.PhaseCosts; see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 
 	"drrgossip"
 	"drrgossip/internal/agg"
+	"drrgossip/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +60,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "in-run delivery shards for large n (0/1 = sequential; results identical for any value)")
 		lo       = flag.Float64("lo", 0, "value range low")
 		hi       = flag.Float64("hi", 1000, "value range high")
+		trace    = flag.String("trace", "", "write the session as a Chrome trace-event timeline to this file (chrome://tracing, ui.perfetto.dev)")
+		events   = flag.String("events", "", "stream structured telemetry events to this file as JSON Lines")
+		httpAddr = flag.String("http", "", "serve live Prometheus /metrics, expvar and pprof on this address while the query runs")
 	)
 	flag.Parse()
 
@@ -64,6 +78,40 @@ func main() {
 		os.Exit(2)
 	}
 	values := agg.GenUniform(*n, *lo, *hi, *seed)
+
+	// Assemble the telemetry taps: an in-memory buffer for the Chrome
+	// trace, a JSONL writer for -events, live metrics for -http. File
+	// sinks get full per-round fidelity; metrics alone only need a
+	// coarse stride.
+	var traceBuf *telemetry.Buffer
+	var jsonl *telemetry.JSONL
+	var sinks []telemetry.Sink
+	if *trace != "" {
+		traceBuf = &telemetry.Buffer{}
+		sinks = append(sinks, traceBuf)
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		fail(err)
+		defer f.Close()
+		jsonl = telemetry.NewJSONL(f)
+		sinks = append(sinks, jsonl)
+	}
+	if *httpAddr != "" {
+		metrics := telemetry.NewMetrics()
+		srv, addr, err := telemetry.Serve(*httpAddr, metrics)
+		fail(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "drrgossip: serving /metrics, /debug/vars and /debug/pprof/ on http://%s\n", addr)
+		sinks = append(sinks, metrics)
+	}
+	if sink := telemetry.Multi(sinks...); sink != nil {
+		every := 64
+		if *trace != "" || *events != "" {
+			every = 1
+		}
+		cfg.Telemetry = &telemetry.Options{Sink: sink, RoundEvery: every}
+	}
 
 	var query drrgossip.Query
 	switch strings.ToLower(*aggName) {
@@ -135,10 +183,32 @@ func main() {
 	fmt.Printf("  rounds    %d   (%.2f x log2 n)\n", ans.Cost.Rounds, float64(ans.Cost.Rounds)/logn)
 	fmt.Printf("  messages  %d   (%.2f per node; %d dropped)\n",
 		ans.Cost.Messages, float64(ans.Cost.Messages)/float64(*n), ans.Cost.Drops)
+	if len(ans.PhaseCosts) > 0 {
+		fmt.Printf("  phases    %-10s %8s %12s %8s\n", "", "rounds", "messages", "drops")
+		for _, pc := range ans.PhaseCosts {
+			fmt.Printf("            %-10s %8d %12d %8d\n", pc.Phase, pc.Rounds, pc.Messages, pc.Drops)
+		}
+	}
 	st := net.Stats()
 	if st.HorizonRuns > 0 || st.OverlayBuilt {
 		fmt.Printf("  session   %d protocol runs (%d horizon pre-runs, %d plan binds, overlay built %v)\n",
 			st.ProtocolRuns, st.HorizonRuns, st.PlanBinds, st.OverlayBuilt)
+	}
+
+	if jsonl != nil {
+		fail(jsonl.Close())
+		fmt.Printf("  events    wrote %s\n", *events)
+	}
+	if traceBuf != nil {
+		f, err := os.Create(*trace)
+		fail(err)
+		err = telemetry.WriteChromeTrace(f, traceBuf.Events())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fail(err)
+		fmt.Printf("  trace     wrote %s (%d events; open in chrome://tracing or ui.perfetto.dev)\n",
+			*trace, len(traceBuf.Events()))
 	}
 }
 

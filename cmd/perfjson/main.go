@@ -11,8 +11,23 @@
 // in the baseline and exits nonzero when either regresses by more than
 // -max-regress (default 20%, plus a small absolute per-metric slack so
 // near-zero benchmarks do not flap on harness noise). ns/op is reported
-// but never guarded: wall-clock depends on the machine, allocation
-// counts and bytes do not.
+// but never guarded against the baseline: wall-clock depends on the
+// machine, allocation counts and bytes do not.
+//
+// Check mode additionally accepts -overhead constraints in two forms:
+//
+//   - "Name=Base:ratio" (e.g. "PerfTelemetry/ring=PerfTelemetry/off:1.05")
+//     asserts that Name's ns/op is at most Base's ns/op times the ratio
+//     *within the same report*.
+//   - "Name:ratio" (e.g. "PerfTelemetry/paired:1.05") asserts that
+//     Name's self-reported overhead-x metric is at most the ratio — for
+//     paired benchmarks that interleave both configurations inside one
+//     loop and report the wall-clock ratio themselves, which is immune
+//     to machine-load drift between sub-benchmarks.
+//
+// Either way the comparison never crosses machines, so relative
+// overhead budgets are safe to guard in CI where absolute wall-clock is
+// not.
 package main
 
 import (
@@ -77,13 +92,35 @@ func readReport(path string) (*Report, error) {
 
 func convert(out string) error {
 	rep := Report{ID: "PERF"}
+	// Repeated names (go test -count N) merge by per-metric minimum: bench
+	// noise on shared runners is one-sided (contention only ever adds
+	// time), so min-of-runs is the stable estimator — essential for the
+	// -overhead ratio checks, harmless for allocation counts, which do not
+	// vary across repetitions.
+	index := map[string]int{}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // stay transparent: the human-readable output passes through
-		if b, ok := parseBench(line); ok {
-			rep.Benchmarks = append(rep.Benchmarks, b)
+		b, ok := parseBench(line)
+		if !ok {
+			continue
 		}
+		if i, seen := index[b.Name]; seen {
+			prev := rep.Benchmarks[i]
+			for unit, v := range b.Metrics {
+				if old, ok := prev.Metrics[unit]; !ok || v < old {
+					prev.Metrics[unit] = v
+				}
+			}
+			if b.Iterations > prev.Iterations {
+				prev.Iterations = b.Iterations
+			}
+			rep.Benchmarks[i] = prev
+			continue
+		}
+		index[b.Name] = len(rep.Benchmarks)
+		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
 		return err
@@ -102,7 +139,87 @@ func convert(out string) error {
 	return nil
 }
 
-func guard(current, baseline string, maxRegress, slack, byteSlack float64) error {
+// overheadSpec is one parsed -overhead constraint. With base set, name's
+// ns/op must not exceed base's ns/op times ratio within the same report;
+// with base empty, name's own overhead-x metric must not exceed ratio.
+type overheadSpec struct {
+	name  string
+	base  string
+	ratio float64
+}
+
+func parseOverhead(spec string) (overheadSpec, error) {
+	head, ratioStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return overheadSpec{}, fmt.Errorf("overhead spec %q: want Name=Base:ratio or Name:ratio", spec)
+	}
+	ratio, err := strconv.ParseFloat(ratioStr, 64)
+	if err != nil || ratio <= 0 {
+		return overheadSpec{}, fmt.Errorf("overhead spec %q: bad ratio %q", spec, ratioStr)
+	}
+	name, base, _ := strings.Cut(head, "=")
+	return overheadSpec{name: strings.TrimSpace(name), base: strings.TrimSpace(base), ratio: ratio}, nil
+}
+
+// checkOverheads asserts each -overhead constraint against the current
+// report and returns the number of failures.
+func checkOverheads(curBy map[string]Benchmark, specs []string) (int, error) {
+	failures := 0
+	for _, raw := range specs {
+		spec, err := parseOverhead(raw)
+		if err != nil {
+			return 0, err
+		}
+		if spec.base == "" {
+			got, ok := curBy[spec.name]
+			if !ok {
+				fmt.Printf("FAIL overhead %s: benchmark missing from report\n", raw)
+				failures++
+				continue
+			}
+			x, ok := got.Metrics["overhead-x"]
+			if !ok {
+				fmt.Printf("FAIL overhead %s: %s reports no overhead-x metric\n", raw, spec.name)
+				failures++
+				continue
+			}
+			if x > spec.ratio {
+				fmt.Printf("FAIL overhead %s: measured x%.3f exceeds budget x%.2f\n", raw, x, spec.ratio)
+				failures++
+			} else {
+				fmt.Printf("ok   overhead %s: measured x%.3f (budget x%.2f)\n", raw, x, spec.ratio)
+			}
+			continue
+		}
+		got, okN := curBy[spec.name]
+		base, okB := curBy[spec.base]
+		if !okN || !okB {
+			fmt.Printf("FAIL overhead %s: benchmark pair missing from report (have %s=%t %s=%t)\n",
+				raw, spec.name, okN, spec.base, okB)
+			failures++
+			continue
+		}
+		ns, okN := got.Metrics["ns/op"]
+		baseNs, okB := base.Metrics["ns/op"]
+		if !okN || !okB || baseNs <= 0 {
+			fmt.Printf("FAIL overhead %s: ns/op missing or zero\n", raw)
+			failures++
+			continue
+		}
+		limit := baseNs * spec.ratio
+		if ns > limit {
+			fmt.Printf("FAIL overhead %s: %.0f ns/op exceeds %.0f ns/op x %.2f = %.0f\n",
+				raw, ns, baseNs, spec.ratio, limit)
+			failures++
+		} else {
+			fmt.Printf("ok   overhead %s: %.0f ns/op vs base %.0f (x%.3f, budget x%.2f)\n",
+				raw, ns, baseNs, ns/baseNs, spec.ratio)
+		}
+	}
+	return failures, nil
+}
+
+func guard(current, baseline string, maxRegress, slack, byteSlack float64, overheads []string) error {
 	cur, err := readReport(current)
 	if err != nil {
 		return err
@@ -154,9 +271,24 @@ func guard(current, baseline string, maxRegress, slack, byteSlack float64) error
 			}
 		}
 	}
+	overheadFails, err := checkOverheads(curBy, overheads)
+	if err != nil {
+		return err
+	}
+	failures += overheadFails
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed", failures)
 	}
+	return nil
+}
+
+// repeatedFlag collects a repeatable string flag.
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string { return strings.Join(*r, ",") }
+
+func (r *repeatedFlag) Set(v string) error {
+	*r = append(*r, v)
 	return nil
 }
 
@@ -168,11 +300,13 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 0.20, "guard mode: allowed fractional allocs/op and B/op regression")
 		slack      = flag.Float64("slack", 16, "guard mode: absolute allocs/op slack on top of the fraction")
 		byteSlack  = flag.Float64("byte-slack", 512, "guard mode: absolute B/op slack on top of the fraction")
+		overheads  repeatedFlag
 	)
+	flag.Var(&overheads, "overhead", `guard mode, repeatable: "Name=Base:ratio" asserts Name ns/op <= Base ns/op x ratio within the current report`)
 	flag.Parse()
 	var err error
 	if *check != "" {
-		err = guard(*check, *baseline, *maxRegress, *slack, *byteSlack)
+		err = guard(*check, *baseline, *maxRegress, *slack, *byteSlack, overheads)
 	} else {
 		err = convert(*out)
 	}

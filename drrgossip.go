@@ -86,6 +86,7 @@ import (
 	"drrgossip/internal/faults"
 	"drrgossip/internal/overlay"
 	"drrgossip/internal/sim"
+	"drrgossip/internal/telemetry"
 )
 
 // Topology selects the communication substrate. The zero value is
@@ -193,6 +194,16 @@ type Config struct {
 	// plan bound to it; both runs are deterministic in Seed. Nil (or an
 	// empty plan) reproduces the static model bit-for-bit.
 	Faults *faults.Plan
+	// Telemetry optionally attaches the structured observability layer
+	// (internal/telemetry): the configured Sink receives run, phase,
+	// fault and (optionally, per RoundEvery) per-round events for every
+	// protocol run of the session, each carrying the engine's cumulative
+	// counters and the delta since the previous event. Telemetry is a
+	// read-only tap — every answer stays bit-identical with any sink
+	// attached — and nil (or a nil Sink) disables it entirely: the hot
+	// path then installs no observers and allocates nothing extra
+	// (pinned by the bench guard). See docs/OBSERVABILITY.md.
+	Telemetry *telemetry.Options
 	// Workers shards a single run's delivery step across this many
 	// goroutines inside the engine (0 or 1 = sequential). Answers are
 	// bit-identical for any value — sharding is a speed knob for large N
@@ -245,6 +256,9 @@ type Result struct {
 	Messages int64
 	// Drops counts messages lost to link failure.
 	Drops int64
+	// PhaseCosts attributes the cost to the protocol phases in execution
+	// order; see Answer.PhaseCosts.
+	PhaseCosts []PhaseCost
 	// Trees is the number of DRR trees built in Phase I.
 	Trees int
 	// Alive is the number of nodes alive when the run ended (with an
@@ -340,14 +354,31 @@ func (c Config) buildOverlay() (overlay.Overlay, error) {
 
 func wrap(eng *sim.Engine, res *core.Result) *Result {
 	return &Result{
-		Value:     res.Value,
-		PerNode:   res.PerNode,
-		Consensus: res.Consensus,
-		Rounds:    res.Stats.Rounds,
-		Messages:  res.Stats.Messages,
-		Drops:     res.Stats.Drops,
-		Trees:     res.Forest.NumTrees(),
-		Alive:     eng.NumAlive(),
+		Value:      res.Value,
+		PerNode:    res.PerNode,
+		Consensus:  res.Consensus,
+		Rounds:     res.Stats.Rounds,
+		Messages:   res.Stats.Messages,
+		Drops:      res.Stats.Drops,
+		PhaseCosts: phaseCosts(res.Phases),
+		Trees:      res.Forest.NumTrees(),
+		Alive:      eng.NumAlive(),
+	}
+}
+
+// phaseCosts renders a core per-phase breakdown as the facade's bill,
+// in pipeline execution order. Both pipelines total their Stats from
+// exactly these four counters, so the slice sums to the run's
+// Rounds/Messages/Drops without adjustment.
+func phaseCosts(ph core.PhaseStats) []PhaseCost {
+	mk := func(name string, c sim.Counters) PhaseCost {
+		return PhaseCost{Phase: name, Rounds: c.Rounds, Messages: c.Messages, Drops: c.Drops, Calls: c.Calls}
+	}
+	return []PhaseCost{
+		mk(core.PhaseDRR, ph.DRR),
+		mk(core.PhaseAggregate, ph.Aggregate),
+		mk(core.PhaseGossip, ph.Gossip),
+		mk(core.PhaseBroadcast, ph.Broadcast),
 	}
 }
 

@@ -1,20 +1,25 @@
-// Telemetry: a cluster-monitoring scenario that exercises the extended
-// aggregates. A datacenter of machines reports per-node request latency;
-// the operator wants mean AND variance (for an SLO alarm on tail
-// behaviour) in one in-network protocol run, plus an elected coordinator
-// (the paper's §6 outlook: DRR as a tool for other distributed problems).
+// Telemetry: the observability layer end to end. A datacenter of
+// machines reports per-node request latency; the operator asks for the
+// p99 in-network and watches the session run: a live per-phase table
+// streamed from round observers, structured events mirrored to three
+// sinks at once (in-memory buffer, JSON Lines file, live counters), a
+// per-phase cost bill on the answer, and finally the whole session
+// exported as a Chrome trace-event timeline.
 //
 //	go run ./examples/telemetry
+//	# then open telemetry_trace.json in chrome://tracing or ui.perfetto.dev
+//
+// See docs/OBSERVABILITY.md for the event schema and sink API.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	"drrgossip"
-	"drrgossip/internal/drrapps"
-	"drrgossip/internal/sim"
+	"drrgossip/internal/telemetry"
 	"drrgossip/internal/xrand"
 )
 
@@ -31,49 +36,115 @@ func main() {
 		latency[i] = 12 * math.Exp(0.4*z)
 	}
 
-	cfg := drrgossip.Config{N: machines, Seed: seed, Loss: 0.02}
-	fmt.Printf("telemetry over %d machines (δ=0.02)\n\n", machines)
-
-	// Mean and variance in a single protocol run (three-component
-	// push-sum: Σv, Σv², weight all ride one bounded message).
-	mom, err := drrgossip.Moments(cfg, latency)
+	// Three sinks tap the same event stream: a Buffer retains every
+	// event for the Chrome trace, a JSONL writer streams them to disk,
+	// and Metrics folds them into live counters (the same aggregator
+	// the -http endpoints serve). RoundEvery 1 asks for full per-round
+	// fidelity — file sinks want every round, not a sampled stride.
+	var buf telemetry.Buffer
+	f, err := os.Create("telemetry_events.jsonl")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("latency mean     %6.2f ms\n", mom.Mean)
-	fmt.Printf("latency stddev   %6.2f ms\n", mom.Std)
-	fmt.Printf("consensus        %v, %d rounds, %.1f msgs/machine\n\n",
-		mom.Consensus, mom.Rounds, float64(mom.Messages)/machines)
+	defer f.Close()
+	jsonl := telemetry.NewJSONL(f)
+	metrics := telemetry.NewMetrics()
 
-	// SLO check: how many machines exceed mean + 2σ right now?
-	slo := mom.Mean + 2*mom.Std
-	over, err := drrgossip.Rank(cfg, latency, slo)
+	cfg := drrgossip.Config{
+		N:    machines,
+		Seed: seed,
+		Loss: 0.02,
+		Telemetry: &telemetry.Options{
+			Sink:       telemetry.Multi(&buf, jsonl, metrics),
+			RoundEvery: 1,
+		},
+	}
+	net, err := drrgossip.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hot := machines - int(math.Round(over.Value))
-	fmt.Printf("machines above mean+2σ (%.1f ms): %d (%.2f%%)\n\n",
-		slo, hot, 100*float64(hot)/machines)
 
-	// Elect a coordinator for follow-up work (e.g. collecting profiles
-	// from the hot machines): DRR's random ranks double as election
-	// ballots — O(log n) rounds, O(n loglog n) messages.
-	eng := sim.NewEngine(machines, sim.Options{Seed: seed, Loss: 0.02})
-	el, err := drrapps.ElectLeader(eng, drrapps.Options{})
+	// A round observer drives the live view: fold each round into a
+	// per-run×phase accumulator and print a table line whenever a run
+	// finishes a phase. Observers are read-only taps — installing one
+	// leaves every result and counter bit-identical.
+	type phaseRow struct {
+		run      int
+		phase    string
+		rounds   int
+		messages int64
+		residual float64
+	}
+	var cur *phaseRow
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		res := "      —"
+		if !math.IsNaN(cur.residual) {
+			res = fmt.Sprintf("%7.1e", cur.residual)
+		}
+		fmt.Printf("  run %2d  %-10s %6d rounds %9d msgs  residual %s\n",
+			cur.run, cur.phase, cur.rounds, cur.messages, res)
+		cur = nil
+	}
+	net.Observe(drrgossip.ObserverFunc(func(ri drrgossip.RoundInfo) {
+		if cur == nil || cur.run != ri.Run || cur.phase != ri.Phase {
+			flush()
+			cur = &phaseRow{run: ri.Run, phase: ri.Phase, residual: math.NaN()}
+		}
+		cur.rounds++
+		cur.messages += ri.Delta.Messages
+		if !math.IsNaN(ri.Residual) {
+			cur.residual = ri.Residual
+		}
+	}))
+
+	fmt.Printf("p99 latency over %d machines (δ=0.02) — live phase trace:\n\n", machines)
+	ans, err := net.Run(drrgossip.QuantileOf(latency, 0.99, 0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("elected coordinator: machine %d (consensus %v)\n", el.Leader, el.Consensus)
-	fmt.Printf("election cost: %d rounds, %.1f msgs/machine\n",
-		el.Stats.Rounds, float64(el.Stats.Messages)/machines)
+	flush()
 
-	// And a spanning tree rooted at the coordinator for subsequent
-	// structured collection.
-	eng2 := sim.NewEngine(machines, sim.Options{Seed: seed + 1})
-	span, err := drrapps.BuildSpanningTree(eng2, drrapps.Options{})
+	fmt.Printf("\np99 latency ≈ %.2f ms   (converged %v, %d machines alive)\n",
+		ans.Value, ans.Converged, ans.Alive)
+
+	// The answer carries its own per-phase bill: PhaseCosts partitions
+	// Cost exactly (the rows sum to the totals), attributing rounds and
+	// messages to drr / aggregate / gossip / broadcast.
+	fmt.Printf("\nper-phase cost attribution (sums to the %d rounds / %d msgs billed):\n",
+		ans.Cost.Rounds, ans.Cost.Messages)
+	for _, pc := range ans.PhaseCosts {
+		fmt.Printf("  %-10s %6d rounds %9d msgs %6.1f%% of traffic\n",
+			pc.Phase, pc.Rounds, pc.Messages,
+			100*float64(pc.Messages)/float64(ans.Cost.Messages))
+	}
+
+	// The Metrics sink kept live counters the whole time — the same
+	// numbers an -http listener would serve on /metrics mid-run.
+	snap := metrics.Snapshot()
+	fmt.Printf("\nlive counters (telemetry.Metrics snapshot):\n")
+	fmt.Printf("  runs %d started / %d finished, %d rounds, %d messages, %d events\n",
+		snap["runs_started"], snap["runs_finished"],
+		snap["rounds"], snap["messages"], snap["events"])
+
+	// Export the buffered events as a Chrome trace-event timeline: run
+	// spans on one track, phase spans on another, faults as instants.
+	if err := jsonl.Close(); err != nil {
+		log.Fatal(err)
+	}
+	tf, err := os.Create("telemetry_trace.json")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("spanning tree: depth %d (log2 n = %.1f), rooted at machine %d\n",
-		span.Depth, math.Log2(machines), span.Leader)
+	err = telemetry.WriteChromeTrace(tf, buf.Events())
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote telemetry_events.jsonl (%d events) and telemetry_trace.json\n", len(buf.Events()))
+	fmt.Printf("open the trace in chrome://tracing or https://ui.perfetto.dev\n")
 }

@@ -25,7 +25,11 @@ type MomentsResult struct {
 	// (NaN for crashed nodes).
 	PerNodeMean, PerNodeVariance []float64
 	Consensus                    bool
-	Stats                        sim.Counters
+	// Phases attributes the run's cost to its pipeline stages via
+	// telescoping engine-counter snapshots, so the four phase deltas sum
+	// to Stats exactly, field by field.
+	Phases PhaseStats
+	Stats  sim.Counters
 }
 
 // Moments computes the global mean and variance with a single DRR-gossip
@@ -47,6 +51,7 @@ func Moments(eng *sim.Engine, values []float64, opts Options) (*MomentsResult, e
 	if f.NumTrees() == 0 {
 		return nil, ErrNoNodes
 	}
+	afterDRR := eng.Stats()
 	eng.SetPhase(PhaseAggregate)
 	cov, _, err := convergecast.Moments(eng, f, values, opts.Convergecast)
 	if err != nil {
@@ -62,6 +67,7 @@ func Moments(eng *sim.Engine, values []float64, opts Options) (*MomentsResult, e
 	for r, mv := range cov {
 		keys[r] = largestKey(int(mv.Count), r)
 	}
+	afterAgg := eng.Stats()
 	eng.SetPhase(PhaseGossip)
 	kres, err := gossip.Max(eng, f, rootTo, keys, opts.Gossip)
 	if err != nil {
@@ -92,6 +98,7 @@ func Moments(eng *sim.Engine, values []float64, opts Options) (*MomentsResult, e
 	if err != nil {
 		return nil, err
 	}
+	afterGossip := eng.Stats()
 	eng.SetPhase(PhaseBroadcast)
 	perMean, _, err := convergecast.BroadcastValue(eng, f, sMean.Estimates, opts.Convergecast)
 	if err != nil {
@@ -112,6 +119,7 @@ func Moments(eng *sim.Engine, values []float64, opts Options) (*MomentsResult, e
 			break
 		}
 	}
+	end := eng.Stats()
 	return &MomentsResult{
 		Mean:            mean,
 		Variance:        variance,
@@ -119,7 +127,13 @@ func Moments(eng *sim.Engine, values []float64, opts Options) (*MomentsResult, e
 		PerNodeMean:     perMean,
 		PerNodeVariance: perVar,
 		Consensus:       consensus,
-		Stats:           eng.Stats().Sub(runStart),
+		Phases: PhaseStats{
+			DRR:       afterDRR.Sub(runStart),
+			Aggregate: afterAgg.Sub(afterDRR),
+			Gossip:    afterGossip.Sub(afterAgg),
+			Broadcast: end.Sub(afterGossip),
+		},
+		Stats: end.Sub(runStart),
 	}, nil
 }
 

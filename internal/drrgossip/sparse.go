@@ -20,6 +20,7 @@ import (
 	"drrgossip/internal/chord"
 	"drrgossip/internal/convergecast"
 	"drrgossip/internal/forest"
+	"drrgossip/internal/gossip"
 	"drrgossip/internal/localdrr"
 	"drrgossip/internal/overlay"
 	"drrgossip/internal/sim"
@@ -290,6 +291,9 @@ func sparseGossipAve(eng *sim.Engine, ov overlay.Overlay, f *forest.Forest, init
 						g[r] += m.Pay.B
 					}
 				}
+			}
+			if eng.WantResidual() {
+				eng.ReportResidual(gossip.EstimateSpread(roots, s, g))
 			}
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"drrgossip"
+	"drrgossip/internal/telemetry"
 )
 
 // Config parameterises an experiment run.
@@ -44,6 +45,11 @@ type Config struct {
 	// own seed and runs on its own engine, results land in slots indexed
 	// by replication, and reductions happen in deterministic order.
 	Workers int
+	// Telemetry, when non-nil, is attached to the sessions of the
+	// experiments that run through the session API (FT1, QB1, SC1) —
+	// typically a *telemetry.Metrics feeding benchtab's -http endpoint.
+	// Telemetry is a read-only tap; reports stay bit-identical.
+	Telemetry *telemetry.Options
 }
 
 // workers resolves the fan-out width. Live progress streaming forces

@@ -80,7 +80,7 @@ func RunFT1(cfg Config) (*Report, error) {
 				o := &outs[trial]
 				fc := drrgossip.Config{
 					N: n, Seed: cfg.Seed + uint64(trial)*7919,
-					Topology: topo, Faults: plan,
+					Topology: topo, Faults: plan, Telemetry: cfg.Telemetry,
 				}
 				// One session per (scenario, topology, trial): the overlay
 				// and the per-op fault bindings are shared by the batch, and

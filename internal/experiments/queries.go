@@ -34,7 +34,8 @@ func RunQB1(cfg Config) (*Report, error) {
 	tb := tablefmt.New(fmt.Sprintf("QB1: session-amortized composite queries (n=%d, chord, crash:0.15@0.5)", n),
 		"query", "runs", "rounds", "msg/n", "drops", "pre-runs", "binds", "elapsed")
 
-	net, err := drrgossip.New(drrgossip.Config{N: n, Seed: cfg.Seed + 0xB1, Topology: drrgossip.Chord, Faults: plan})
+	net, err := drrgossip.New(drrgossip.Config{N: n, Seed: cfg.Seed + 0xB1, Topology: drrgossip.Chord,
+		Faults: plan, Telemetry: cfg.Telemetry})
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +82,8 @@ func RunQB1(cfg Config) (*Report, error) {
 	// The same batch through RunAll's opt-in concurrency on a fresh
 	// session: answers must be bit-identical to the sequential ones (the
 	// parallel runner's determinism contract).
-	parNet, err := drrgossip.New(drrgossip.Config{N: n, Seed: cfg.Seed + 0xB1, Topology: drrgossip.Chord, Faults: plan})
+	parNet, err := drrgossip.New(drrgossip.Config{N: n, Seed: cfg.Seed + 0xB1, Topology: drrgossip.Chord,
+		Faults: plan, Telemetry: cfg.Telemetry})
 	if err != nil {
 		return nil, err
 	}

@@ -173,7 +173,7 @@ func runSC1(cfg Config, sizes []int, topos []facade.Topology, memLegN int) (*Rep
 	// full jagged adjacency under LegacySliceAdjacency).
 	measure := func(topo facade.Topology, n, workers int, legacyAdj bool, values []float64) (*facade.Answer, time.Duration, float64, error) {
 		fc := facade.Config{N: n, Seed: xrand.Hash(cfg.Seed, 0x5C1, uint64(n)), Topology: topo,
-			Workers: workers, LegacySliceAdjacency: legacyAdj}
+			Workers: workers, LegacySliceAdjacency: legacyAdj, Telemetry: cfg.Telemetry}
 		h0 := liveHeapMB()
 		net, err := facade.New(fc)
 		if err != nil {

@@ -404,6 +404,9 @@ func Ave(eng *sim.Engine, f *forest.Forest, rootTo []int, init map[int]convergec
 				}
 			}
 		}
+		if eng.WantResidual() {
+			eng.ReportResidual(EstimateSpread(roots, s, g))
+		}
 		if opts.TrackPotential {
 			for _, sh := range shipped {
 				for j := range y[sh.dst] {
@@ -438,4 +441,31 @@ func Ave(eng *sim.Engine, f *forest.Forest, rootTo []int, init map[int]convergec
 		Potential:  potentials,
 		Stats:      eng.Stats().Sub(start),
 	}, nil
+}
+
+// EstimateSpread is the convergence residual the gossip drivers report
+// when a round observer is attached: the spread (max − min) of the
+// running ratio estimate s/g across roots with nonzero mass, which
+// push-sum drives to zero as shares mix. NaN when no root has mass yet.
+// It only reads driver state, so reporting it cannot perturb a run; the
+// roots iteration order does not affect a max/min reduction, keeping the
+// value deterministic. The sparse pipeline reports the same quantity
+// over its own share maps.
+func EstimateSpread(roots []int, s, g map[int]float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range roots {
+		if gv := g[r]; gv != 0 {
+			est := s[r] / gv
+			if est < lo {
+				lo = est
+			}
+			if est > hi {
+				hi = est
+			}
+		}
+	}
+	if hi < lo {
+		return math.NaN()
+	}
+	return hi - lo
 }

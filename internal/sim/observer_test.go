@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // The round observer is a read-only tap: it fires once per Tick with the
 // new round number, sees the round fully formed (hook applied, messages
@@ -48,5 +51,134 @@ func TestPhaseLabel(t *testing.T) {
 	e.SetPhase("gossip")
 	if e.Phase() != "gossip" {
 		t.Fatalf("phase = %q", e.Phase())
+	}
+}
+
+// The phase observer fires on label changes only, and never makes the
+// engine faulty.
+func TestPhaseObserver(t *testing.T) {
+	e := NewEngine(2, Options{Seed: 1})
+	var seen []string
+	e.SetPhaseObserver(func(p string) { seen = append(seen, p) })
+	if e.Faulty() {
+		t.Fatal("phase observer must not make the engine faulty")
+	}
+	e.SetPhase("drr")
+	e.SetPhase("drr") // same label: no event
+	e.SetPhase("gossip")
+	if len(seen) != 2 || seen[0] != "drr" || seen[1] != "gossip" {
+		t.Fatalf("phase observer saw %v", seen)
+	}
+	e.SetPhaseObserver(nil)
+	e.SetPhase("broadcast")
+	if len(seen) != 2 {
+		t.Fatal("removed phase observer still fired")
+	}
+}
+
+// The membership observer fires on actual transitions only: crashing a
+// dead node or reviving a live one stays silent.
+func TestMembershipObserver(t *testing.T) {
+	e := NewEngine(4, Options{Seed: 1})
+	type tr struct {
+		node  int
+		alive bool
+	}
+	var seen []tr
+	e.SetMembershipObserver(func(node int, alive bool) { seen = append(seen, tr{node, alive}) })
+	if e.Faulty() {
+		t.Fatal("membership observer must not make the engine faulty")
+	}
+	e.Crash(2)
+	e.Crash(2) // already dead: no event
+	e.Revive(2)
+	e.Revive(2) // already alive: no event
+	want := []tr{{2, false}, {2, true}}
+	if len(seen) != len(want) || seen[0] != want[0] || seen[1] != want[1] {
+		t.Fatalf("membership observer saw %v, want %v", seen, want)
+	}
+}
+
+// Residual is driver-reported observability state, NaN by default.
+func TestResidual(t *testing.T) {
+	e := NewEngine(2, Options{Seed: 1})
+	if !math.IsNaN(e.Residual()) {
+		t.Fatalf("fresh engine residual = %v, want NaN", e.Residual())
+	}
+	if e.Observed() {
+		t.Fatal("fresh engine must not report Observed")
+	}
+	e.SetRoundObserver(func(int) {})
+	if !e.Observed() {
+		t.Fatal("engine with round observer must report Observed")
+	}
+	e.ReportResidual(0.5)
+	if e.Residual() != 0.5 {
+		t.Fatalf("residual = %v", e.Residual())
+	}
+}
+
+// WantResidual is due only on rounds the stride will surface, and only
+// while a round observer is installed.
+func TestResidualStride(t *testing.T) {
+	e := NewEngine(2, Options{Seed: 1})
+	if e.WantResidual() {
+		t.Fatal("unobserved engine must not want residuals")
+	}
+	e.SetRoundObserver(func(int) {})
+	if !e.WantResidual() {
+		t.Fatal("default stride must want a residual every round")
+	}
+	e.SetResidualStride(3)
+	var due []int
+	for r := 1; r <= 6; r++ {
+		if e.WantResidual() {
+			due = append(due, r) // upcoming round r
+		}
+		e.Tick()
+	}
+	if len(due) != 2 || due[0] != 3 || due[1] != 6 {
+		t.Fatalf("due rounds = %v, want [3 6]", due)
+	}
+	e.SetResidualStride(0) // < 1 clamps to every round
+	if !e.WantResidual() {
+		t.Fatal("stride 0 must clamp to 1")
+	}
+}
+
+// Regression for the pooled-engine contract: Reset must clear every
+// piece of observability state — phase label, phase/membership/round
+// observers, and the reported residual — so that a pooled engine cannot
+// leak a previous run's telemetry into the next one.
+func TestResetClearsObservabilityState(t *testing.T) {
+	e := NewEngine(4, Options{Seed: 1})
+	fired := 0
+	e.SetPhase("gossip")
+	e.SetPhaseObserver(func(string) { fired++ })
+	e.SetMembershipObserver(func(int, bool) { fired++ })
+	e.SetRoundObserver(func(int) { fired++ })
+	e.ReportResidual(0.125)
+	e.SetResidualStride(7)
+
+	e.Reset(Options{Seed: 1})
+	if e.Phase() != "" {
+		t.Fatalf("Reset left phase %q", e.Phase())
+	}
+	if !math.IsNaN(e.Residual()) {
+		t.Fatalf("Reset left residual %v", e.Residual())
+	}
+	if e.Observed() {
+		t.Fatal("Reset left a round observer installed")
+	}
+	e.SetRoundObserver(func(int) {})
+	if !e.WantResidual() {
+		t.Fatal("Reset left a residual stride != 1")
+	}
+	e.SetRoundObserver(nil)
+	e.SetPhase("drr")
+	e.Crash(1)
+	e.Tick()
+	if fired != 0 {
+		t.Fatalf("stale observers fired %d times after Reset", fired)
 	}
 }

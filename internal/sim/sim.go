@@ -58,6 +58,7 @@
 package sim
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -201,6 +202,18 @@ type Engine struct {
 	roundHook func(round int) // runs at the top of every Tick
 	observer  func(round int) // read-only per-round tap, runs at the end of Tick
 	phase     string          // protocol-reported phase label (observability only)
+
+	// Observability taps (read-only, like observer): phaseObs fires on
+	// SetPhase label changes, memberObs on Crash/Revive transitions, and
+	// residual holds the driver-reported convergence residual (NaN when
+	// the running protocol reports none). residualStride is how often the
+	// residual is actually read (every k-th round); drivers gate the
+	// O(roots) spread computation on WantResidual so coarse consumers do
+	// not pay per-tick scans.
+	phaseObs       func(phase string)
+	memberObs      func(node int, alive bool)
+	residual       float64
+	residualStride int
 }
 
 // initialRingSize is the delivery ring's starting slot count (power of
@@ -311,6 +324,10 @@ func (e *Engine) Reset(opts Options) {
 	e.roundHook = nil
 	e.observer = nil
 	e.phase = ""
+	e.phaseObs = nil
+	e.memberObs = nil
+	e.residual = math.NaN()
+	e.residualStride = 1
 }
 
 // N returns the number of nodes (alive or crashed).
@@ -361,6 +378,9 @@ func (e *Engine) Crash(i int) {
 		e.alive.Clear(i)
 		e.nAliv--
 		e.aliveDirty = true
+		if e.memberObs != nil {
+			e.memberObs(i, false)
+		}
 	}
 }
 
@@ -372,6 +392,9 @@ func (e *Engine) Revive(i int) {
 		e.alive.Set(i)
 		e.nAliv++
 		e.aliveDirty = true
+		if e.memberObs != nil {
+			e.memberObs(i, true)
+		}
 	}
 }
 
@@ -401,12 +424,71 @@ func (e *Engine) SetRoundObserver(f func(round int)) { e.observer = f }
 // SetPhase records the protocol phase label ("drr", "gossip", …) the
 // run is currently in. It is pure observability — protocols update it as
 // they move through their pipeline so round observers can report where
-// the time goes; the engine itself never reads it.
-func (e *Engine) SetPhase(p string) { e.phase = p }
+// the time goes; the engine itself never reads it. Setting the label it
+// already carries is a no-op (the phase observer fires on changes only).
+func (e *Engine) SetPhase(p string) {
+	if p == e.phase {
+		return
+	}
+	e.phase = p
+	if e.phaseObs != nil {
+		e.phaseObs(p)
+	}
+}
 
 // Phase returns the label last recorded with SetPhase ("" before the
 // first phase).
 func (e *Engine) Phase() string { return e.phase }
+
+// SetPhaseObserver installs (or, with nil, removes) a read-only tap
+// fired from SetPhase whenever the phase label changes, with the label
+// being entered. Like SetRoundObserver it cannot perturb the run and
+// does not flip Faulty().
+func (e *Engine) SetPhaseObserver(f func(phase string)) { e.phaseObs = f }
+
+// SetMembershipObserver installs (or, with nil, removes) a read-only tap
+// fired from Crash and Revive on actual membership transitions (crashing
+// a dead node or reviving a live one stays silent), with the node id and
+// its new liveness. Like SetRoundObserver it cannot perturb the run and
+// does not flip Faulty().
+func (e *Engine) SetMembershipObserver(f func(node int, alive bool)) { e.memberObs = f }
+
+// ReportResidual records the driver's current convergence residual (for
+// the gossip drivers: the spread of the running ratio estimate across
+// roots). Pure observability: protocols report it only when an observer
+// is installed (see Observed), so the static hot path never computes it.
+func (e *Engine) ReportResidual(r float64) { e.residual = r }
+
+// Residual returns the last driver-reported convergence residual, or NaN
+// when the running protocol has not reported one.
+func (e *Engine) Residual() float64 { return e.residual }
+
+// Observed reports whether a round observer is installed. Protocol
+// drivers gate optional observability work (residual computation) on it
+// so that unobserved runs pay nothing.
+func (e *Engine) Observed() bool { return e.observer != nil }
+
+// SetResidualStride declares how often the reported residual is actually
+// read: every k-th round (the facade derives k from its telemetry
+// round-event stride). WantResidual is then due only on rounds a reader
+// will surface, so coarse monitoring does not pay a per-tick O(roots)
+// spread scan in the gossip drivers. k < 1 means every round. Reset
+// restores the default of 1.
+func (e *Engine) SetResidualStride(k int) {
+	if k < 1 {
+		k = 1
+	}
+	e.residualStride = k
+}
+
+// WantResidual reports whether a driver should compute and report its
+// convergence residual before the upcoming Tick: a round observer must
+// be installed and the upcoming round must land on the residual stride,
+// so the freshly reported value is exactly what that round's readers
+// see.
+func (e *Engine) WantResidual() bool {
+	return e.observer != nil && (e.c.Rounds+1)%e.residualStride == 0
+}
 
 // Faulty reports whether a fault regime is installed (a round hook or a
 // link fault). Protocols use it to degrade gracefully — returning

@@ -22,6 +22,7 @@ import (
 	"drrgossip/internal/faults"
 	"drrgossip/internal/overlay"
 	"drrgossip/internal/sim"
+	"drrgossip/internal/telemetry"
 	"drrgossip/internal/xrand"
 )
 
@@ -47,9 +48,28 @@ type RoundInfo struct {
 	// Messages and Drops are the run's cumulative counters so far.
 	Messages int64
 	Drops    int64
+	// Delta is the round's own share of the counters — the change since
+	// the previous observed round — so observers no longer recompute it
+	// from consecutive snapshots.
+	Delta RoundDelta
+	// Residual is the protocol's convergence residual at the end of the
+	// round when the running driver reports one (the gossip phases report
+	// the spread of the root ratio estimates); NaN otherwise.
+	Residual float64
 	// FaultEvents is the number of fault-plan actions applied so far in
 	// this run (0 without a plan).
 	FaultEvents int
+}
+
+// RoundDelta is the per-round change of the engine counters carried by
+// RoundInfo.Delta: messages sent, messages lost to link failure,
+// messages killed by installed link faults, and synchronous calls
+// placed during that round.
+type RoundDelta struct {
+	Messages int64
+	Drops    int64
+	Blocked  int64
+	Calls    int64
 }
 
 // Observer receives one callback per simulated round. Observers are
@@ -119,6 +139,13 @@ type Network struct {
 
 	observers []Observer
 
+	// em is the session's telemetry emitter (nil when Config.Telemetry is
+	// unset — the "telemetry off" state every hot path checks for free).
+	// lastRound is the previous observed round's counter snapshot, the
+	// baseline for RoundInfo.Delta; it is reset at every run start.
+	em        *telemetry.Emitter
+	lastRound sim.Counters
+
 	queries     int
 	protoRuns   int
 	horizonRuns int
@@ -133,6 +160,9 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	nw := &Network{cfg: cfg, bounds: make(map[Op]*faults.Bound)}
+	if cfg.Telemetry != nil {
+		nw.em = telemetry.NewEmitter(*cfg.Telemetry)
+	}
 	if !cfg.Topology.isComplete() {
 		ov, err := cfg.buildOverlay()
 		if err != nil {
@@ -261,10 +291,25 @@ func (nw *Network) runAllParallel(ctx context.Context, queries []Query, workers 
 	}
 	answers := make([]*Answer, len(queries))
 	errs := make([]error, len(queries))
+	// With telemetry attached, each query's event stream is captured in
+	// its own Buffer and forwarded to the session sink during the ordered
+	// reduction below — the sink sees one deterministic stream in query
+	// order no matter how the workers interleaved.
+	var bufs []telemetry.Buffer
+	if nw.em.Enabled() {
+		bufs = make([]telemetry.Buffer, len(queries))
+	}
 	pool := sync.Pool{New: func() any { return nw.workerSession() }}
 	sim.ForEachRun(len(queries), workers, func(i int) {
 		ws := pool.Get().(*Network)
+		if bufs != nil {
+			// Runs are numbered per query from 0 here; the reduction
+			// rebases them onto the session's run counter.
+			ws.protoRuns = 0
+			ws.em = telemetry.NewEmitter(telemetry.Options{Sink: &bufs[i], RoundEvery: nw.em.RoundEvery()})
+		}
 		answers[i], errs[i] = ws.RunContext(ctx, queries[i])
+		ws.em = nil
 		pool.Put(ws)
 	})
 	// Deterministic reduction in query order: the error of the
@@ -274,6 +319,12 @@ func (nw *Network) runAllParallel(ctx context.Context, queries []Query, workers 
 	var total Cost
 	for i := range queries {
 		nw.queries++
+		if bufs != nil {
+			for _, ev := range bufs[i].Events() {
+				ev.Run += nw.protoRuns
+				nw.em.Forward(&ev)
+			}
+		}
 		if errs[i] != nil {
 			return out, total, fmt.Errorf("query %d (%s): %w", i, queries[i].Op, errs[i])
 		}
@@ -415,13 +466,40 @@ func (nw *Network) engine() *sim.Engine {
 }
 
 // execOnce performs one protocol run on the pooled engine, attaching the
-// bound fault schedule (if any) and the session's observers.
-func (nw *Network) execOnce(b *faults.Bound, run protoFunc) (*Result, *core.MomentsResult, error) {
+// bound fault schedule (if any), the session's observers, and the
+// telemetry emitter's engine hooks. The engine Reset at the top clears
+// every hook from the previous run, so runs cannot leak observability
+// state into each other.
+func (nw *Network) execOnce(b *faults.Bound, op Op, run protoFunc) (*Result, *core.MomentsResult, error) {
 	nw.protoRuns++
 	eng := nw.engine()
-	if len(nw.observers) > 0 {
-		runIdx := nw.protoRuns
-		eng.SetRoundObserver(func(round int) { nw.notify(runIdx, round, eng, b) })
+	runIdx := nw.protoRuns
+	em := nw.em
+	if em.Enabled() {
+		em.RunStart(runIdx, op.String(), eng)
+		eng.SetPhaseObserver(func(string) { em.Phase(eng) })
+		eng.SetMembershipObserver(func(node int, alive bool) { em.Fault(eng, node, alive) })
+	}
+	wantRounds := em.WantsRounds()
+	if len(nw.observers) > 0 || wantRounds {
+		nw.lastRound = sim.Counters{}
+		eng.SetRoundObserver(func(round int) {
+			if wantRounds {
+				em.Round(eng)
+			}
+			if len(nw.observers) > 0 {
+				nw.notify(runIdx, round, eng, b)
+			}
+		})
+		// Residuals are only read on the rounds surfaced to a consumer:
+		// every round when RoundInfo observers are attached, else on the
+		// telemetry round-event stride. The drivers skip the O(roots)
+		// spread scan on all other rounds.
+		if len(nw.observers) > 0 {
+			eng.SetResidualStride(1)
+		} else {
+			eng.SetResidualStride(em.RoundEvery())
+		}
 	}
 	if b != nil {
 		b.Attach(eng)
@@ -430,16 +508,18 @@ func (nw *Network) execOnce(b *faults.Bound, run protoFunc) (*Result, *core.Mome
 	if err != nil {
 		return nil, nil, err
 	}
+	em.RunEnd(eng)
 	var res *Result
 	if out.mom != nil {
 		res = &Result{
-			Value:     out.mom.Mean,
-			PerNode:   out.mom.PerNodeMean,
-			Consensus: out.mom.Consensus,
-			Rounds:    out.mom.Stats.Rounds,
-			Messages:  out.mom.Stats.Messages,
-			Drops:     out.mom.Stats.Drops,
-			Alive:     eng.NumAlive(),
+			Value:      out.mom.Mean,
+			PerNode:    out.mom.PerNodeMean,
+			Consensus:  out.mom.Consensus,
+			Rounds:     out.mom.Stats.Rounds,
+			Messages:   out.mom.Stats.Messages,
+			Drops:      out.mom.Stats.Drops,
+			PhaseCosts: phaseCosts(out.mom.Phases),
+			Alive:      eng.NumAlive(),
 		}
 	} else {
 		res = wrap(eng, out.res)
@@ -464,13 +544,13 @@ func (nw *Network) execute(ctx context.Context, op Op, run protoFunc) (*Result, 
 		return nil, nil, err
 	}
 	if nw.cfg.Faults.Empty() {
-		return nw.execOnce(nil, run)
+		return nw.execOnce(nil, op, run)
 	}
 	b, err := nw.bind(ctx, op, run)
 	if err != nil {
 		return nil, nil, err
 	}
-	return nw.execOnce(b, run)
+	return nw.execOnce(b, op, run)
 }
 
 // bind returns the session's fault binding for op, resolving it on first
@@ -485,7 +565,7 @@ func (nw *Network) bind(ctx context.Context, op Op, run protoFunc) (*faults.Boun
 	}
 	horizon := 0
 	if nw.cfg.Faults.NeedsHorizon() {
-		healthy, _, err := nw.execOnce(nil, run)
+		healthy, _, err := nw.execOnce(nil, op, run)
 		if err != nil {
 			return nil, fmt.Errorf("drrgossip: horizon measurement run: %w", err)
 		}
@@ -507,6 +587,8 @@ func (nw *Network) bind(ctx context.Context, op Op, run protoFunc) (*faults.Boun
 // notify fans a round snapshot out to the observers.
 func (nw *Network) notify(run, round int, eng *sim.Engine, b *faults.Bound) {
 	st := eng.Stats()
+	d := st.Sub(nw.lastRound)
+	nw.lastRound = st
 	ri := RoundInfo{
 		Run:      run,
 		Round:    round,
@@ -514,6 +596,8 @@ func (nw *Network) notify(run, round int, eng *sim.Engine, b *faults.Bound) {
 		Alive:    eng.NumAlive(),
 		Messages: st.Messages,
 		Drops:    st.Drops,
+		Delta:    RoundDelta{Messages: d.Messages, Drops: d.Drops, Blocked: d.Blocked, Calls: d.Calls},
+		Residual: eng.Residual(),
 	}
 	if b != nil {
 		ri.FaultEvents = b.Fired()
@@ -601,6 +685,7 @@ func (nw *Network) aggregate(ctx context.Context, q Query) (*Answer, error) {
 		Value:        res.Value,
 		Consensus:    res.Consensus,
 		Cost:         Cost{Runs: 1, Rounds: res.Rounds, Messages: res.Messages, Drops: res.Drops},
+		PhaseCosts:   res.PhaseCosts,
 		Trees:        res.Trees,
 		Alive:        res.Alive,
 		FaultEvents:  res.FaultEvents,
@@ -636,6 +721,7 @@ func (nw *Network) quantile(ctx context.Context, values []float64, phi, tol floa
 		ans.Cost.Rounds += res.Rounds
 		ans.Cost.Messages += res.Messages
 		ans.Cost.Drops += res.Drops
+		ans.PhaseCosts = mergePhaseCosts(ans.PhaseCosts, res.PhaseCosts)
 		ans.Alive = res.Alive
 		ans.FaultEvents, ans.FaultCrashes, ans.FaultRevives = res.FaultEvents, res.FaultCrashes, res.FaultRevives
 		return res, nil
@@ -715,6 +801,7 @@ func (nw *Network) histogram(ctx context.Context, values, edges []float64) (*Ans
 		ans.Cost.Rounds += res.Rounds
 		ans.Cost.Messages += res.Messages
 		ans.Cost.Drops += res.Drops
+		ans.PhaseCosts = mergePhaseCosts(ans.PhaseCosts, res.PhaseCosts)
 		last = res
 	}
 	ans.Counts[0] = cum[0]
@@ -743,6 +830,7 @@ func (nw *Network) histogram(ctx context.Context, values, edges []float64) (*Ans
 		ans.Cost.Rounds += countRes.Rounds
 		ans.Cost.Messages += countRes.Messages
 		ans.Cost.Drops += countRes.Drops
+		ans.PhaseCosts = mergePhaseCosts(ans.PhaseCosts, countRes.PhaseCosts)
 		total = math.Round(countRes.Value)
 	}
 	ans.Alive = last.Alive

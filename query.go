@@ -155,6 +155,49 @@ func (c Cost) Add(o Cost) Cost {
 	}
 }
 
+// PhaseCost attributes a slice of an Answer's Cost to one protocol
+// phase. The paper's optimality claims are per-phase (the Section 4
+// pipeline alternates local-DRR, convergecast and gossip stages, and
+// Theorem 14's chord bound is the sum of the stage costs), so the
+// facade bills each phase separately instead of only the aggregate.
+type PhaseCost struct {
+	// Phase is the pipeline phase label ("drr", "aggregate", "gossip",
+	// "broadcast").
+	Phase string
+	// Rounds, Messages, Drops and Calls are the phase's share of the
+	// bill. Summed over a query's PhaseCosts they reproduce Cost.Rounds,
+	// Cost.Messages and Cost.Drops exactly (Calls is extra per-phase
+	// detail the aggregate Cost does not carry).
+	Rounds   int
+	Messages int64
+	Drops    int64
+	Calls    int64
+}
+
+// mergePhaseCosts folds src into dst by phase name, appending unseen
+// phases in first-seen order. Every pipeline reports its phases in the
+// same execution order (drr, aggregate, gossip, broadcast), so
+// composite queries accumulate into a stable four-entry slice.
+func mergePhaseCosts(dst, src []PhaseCost) []PhaseCost {
+	for _, pc := range src {
+		merged := false
+		for i := range dst {
+			if dst[i].Phase == pc.Phase {
+				dst[i].Rounds += pc.Rounds
+				dst[i].Messages += pc.Messages
+				dst[i].Drops += pc.Drops
+				dst[i].Calls += pc.Calls
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			dst = append(dst, pc)
+		}
+	}
+	return dst
+}
+
 // Answer is the uniform response to any Query. Every answer carries the
 // consensus Value and the Cost bill; the remaining fields are filled
 // when the operation produces them:
@@ -187,6 +230,11 @@ type Answer struct {
 	Consensus bool
 	// Cost is the query's accumulated protocol bill.
 	Cost Cost
+	// PhaseCosts attributes Cost to the protocol phases in execution
+	// order (drr, aggregate, gossip, broadcast), accumulated across all
+	// of a composite query's runs. The entries sum exactly to
+	// Cost.Rounds, Cost.Messages and Cost.Drops.
+	PhaseCosts []PhaseCost
 	// Trees is the number of DRR trees built in Phase I (last run).
 	Trees int
 	// Alive is the number of nodes alive when the (last) run ended; with
@@ -221,6 +269,7 @@ func (a *Answer) result() *Result {
 		Rounds:       a.Cost.Rounds,
 		Messages:     a.Cost.Messages,
 		Drops:        a.Cost.Drops,
+		PhaseCosts:   a.PhaseCosts,
 		Trees:        a.Trees,
 		Alive:        a.Alive,
 		FaultEvents:  a.FaultEvents,

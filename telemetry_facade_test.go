@@ -1,0 +1,461 @@
+// Facade-level telemetry contract: per-phase cost attribution sums
+// exactly to the aggregate Cost on every op and topology, telemetry is
+// a bit-identical read-only tap, event streams are deterministic across
+// engine shards and batch parallelism, and a Quantile session exports a
+// valid Chrome trace.
+
+package drrgossip
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"drrgossip/internal/sim"
+	"drrgossip/internal/telemetry"
+)
+
+// sumPhases folds a PhaseCosts slice back into a Cost-shaped bill.
+func sumPhases(pcs []PhaseCost) (rounds int, messages, drops int64) {
+	for _, pc := range pcs {
+		rounds += pc.Rounds
+		messages += pc.Messages
+		drops += pc.Drops
+	}
+	return
+}
+
+// TestPhaseCostsSumToCost is the golden pin of the acceptance criterion:
+// for every op on Complete and Chord, Answer.PhaseCosts sums exactly to
+// Answer.Cost — the dense and sparse pipelines account bit-identically
+// to their totals.
+func TestPhaseCostsSumToCost(t *testing.T) {
+	phaseOrder := []string{"drr", "aggregate", "gossip", "broadcast"}
+	for _, topo := range []Topology{Complete, Chord} {
+		queries := []Query{
+			MaxOf(nil), MinOf(nil), SumOf(nil), CountOf(nil), AverageOf(nil),
+			RankOf(nil, 500), QuantileOf(nil, 0.9, 5), HistogramOf(nil, []float64{250, 500, 750}),
+		}
+		if topo.isComplete() {
+			queries = append(queries, MomentsOf(nil))
+		}
+		nw, err := New(Config{N: 512, Seed: 11, Loss: 0.05, Topology: topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		values := uniformValues(512, 7)
+		for _, q := range queries {
+			q.Values = values
+			a, err := nw.Run(q)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", topo, q.Op, err)
+			}
+			if len(a.PhaseCosts) != 4 {
+				t.Fatalf("%s/%s: %d phase entries, want 4", topo, q.Op, len(a.PhaseCosts))
+			}
+			for i, pc := range a.PhaseCosts {
+				if pc.Phase != phaseOrder[i] {
+					t.Fatalf("%s/%s: phase %d = %q, want %q", topo, q.Op, i, pc.Phase, phaseOrder[i])
+				}
+			}
+			rounds, messages, drops := sumPhases(a.PhaseCosts)
+			if rounds != a.Cost.Rounds || messages != a.Cost.Messages || drops != a.Cost.Drops {
+				t.Errorf("%s/%s: phase sum (%d, %d, %d) != cost (%d, %d, %d)",
+					topo, q.Op, rounds, messages, drops, a.Cost.Rounds, a.Cost.Messages, a.Cost.Drops)
+			}
+		}
+	}
+}
+
+// TestPhaseCostsUnderFaults extends the sum pin to a faulted run, where
+// drops and blocked messages concentrate in specific phases.
+func TestPhaseCostsUnderFaults(t *testing.T) {
+	plan, err := ParseFaultPlan("crash:0.1@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(Config{N: 512, Seed: 3, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := nw.Average(uniformValues(512, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, messages, drops := sumPhases(a.PhaseCosts)
+	if rounds != a.Cost.Rounds || messages != a.Cost.Messages || drops != a.Cost.Drops {
+		t.Errorf("faulted phase sum (%d, %d, %d) != cost (%d, %d, %d)",
+			rounds, messages, drops, a.Cost.Rounds, a.Cost.Messages, a.Cost.Drops)
+	}
+}
+
+// TestTelemetryIsReadOnlyTap pins the overhead contract's semantic half:
+// attaching a sink (even with per-round sampling, which turns on the
+// residual computation) changes no answer field.
+func TestTelemetryIsReadOnlyTap(t *testing.T) {
+	values := uniformValues(512, 9)
+	run := func(topo Topology, tel *telemetry.Options) *Answer {
+		nw, err := New(Config{N: 512, Seed: 21, Loss: 0.05, Topology: topo, Telemetry: tel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := nw.Quantile(values, 0.75, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	for _, topo := range []Topology{Complete, Chord} {
+		plain := run(topo, nil)
+		var buf telemetry.Buffer
+		tapped := run(topo, &telemetry.Options{Sink: &buf, RoundEvery: 1})
+		if !reflect.DeepEqual(plain, tapped) {
+			t.Errorf("%s: telemetry perturbed the answer:\nplain:  %+v\ntapped: %+v", topo, plain, tapped)
+		}
+		if len(buf.Events()) == 0 {
+			t.Errorf("%s: no events captured", topo)
+		}
+	}
+}
+
+// eventStream runs a fixed batch with telemetry attached and returns
+// the captured events.
+func eventStream(t *testing.T, workers, parallelism int, faultSpec string) []telemetry.Event {
+	t.Helper()
+	cfg := Config{N: 512, Seed: 33, Loss: 0.02, Workers: workers}
+	if faultSpec != "" {
+		p, err := ParseFaultPlan(faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = p
+	}
+	var buf telemetry.Buffer
+	cfg.Telemetry = &telemetry.Options{Sink: &buf, RoundEvery: 4}
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := uniformValues(512, 13)
+	queries := []Query{MaxOf(values), AverageOf(values), RankOf(values, 400), SumOf(values)}
+	if _, _, err := nw.RunAll(queries, BatchOptions{Parallelism: parallelism}); err != nil {
+		t.Fatal(err)
+	}
+	evs := buf.Events()
+	// NaN != NaN would defeat DeepEqual below; canonicalize "no residual"
+	// to a sentinel outside the residual's [0, inf) range.
+	for i := range evs {
+		if math.IsNaN(evs[i].Residual) {
+			evs[i].Residual = -1
+		}
+	}
+	return evs
+}
+
+// checkEventOrder pins the stream-ordering invariant: events sorted by
+// (Run, Round, Seq), with Seq restarting per run.
+func checkEventOrder(t *testing.T, label string, evs []telemetry.Event) {
+	t.Helper()
+	if len(evs) == 0 {
+		t.Fatalf("%s: empty event stream", label)
+	}
+	lastRun, lastRound, lastSeq := 0, -1, uint64(0)
+	for i, ev := range evs {
+		if ev.Run < lastRun {
+			t.Fatalf("%s: event %d run regressed: %d after %d", label, i, ev.Run, lastRun)
+		}
+		if ev.Run > lastRun {
+			lastRun, lastRound, lastSeq = ev.Run, -1, 0
+		}
+		if ev.Round < lastRound {
+			t.Fatalf("%s: event %d round regressed within run %d", label, i, ev.Run)
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("%s: event %d seq not increasing within run %d", label, i, ev.Run)
+		}
+		lastRound, lastSeq = ev.Round, ev.Seq
+	}
+}
+
+// TestEventOrderingDeterministic pins the satellite contract: the event
+// stream is sorted by (run, round, seq) and bit-identical across
+// Config.Workers values and RunAll parallelism degrees. Without a fault
+// plan the parallel stream also matches sequential execution exactly;
+// with one, the parallel path resolves every fault binding up front (its
+// horizon pre-runs lead the stream instead of interleaving), so the pin
+// there is identity across parallelism degrees and engine shard counts.
+func TestEventOrderingDeterministic(t *testing.T) {
+	for _, spec := range []string{"", "crash:0.05@0.4"} {
+		sequential := eventStream(t, 0, 1, spec)
+		checkEventOrder(t, "spec "+spec+" sequential", sequential)
+		base := eventStream(t, 0, 2, spec)
+		checkEventOrder(t, "spec "+spec+" parallel", base)
+		if spec == "" && !reflect.DeepEqual(sequential, base) {
+			t.Errorf("no-fault parallel stream differs from sequential (%d vs %d events)",
+				len(base), len(sequential))
+		}
+		if got := eventStream(t, 4, 1, spec); !reflect.DeepEqual(sequential, got) {
+			t.Errorf("spec %q: workers=4 stream differs from workers=0 (%d vs %d events)",
+				spec, len(got), len(sequential))
+		}
+		for _, variant := range []struct {
+			name                 string
+			workers, parallelism int
+		}{
+			{"parallel=4", 0, 4},
+			{"workers=4/parallel=4", 4, 4},
+		} {
+			got := eventStream(t, variant.workers, variant.parallelism, spec)
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("spec %q: %s event stream differs from parallel=2 (%d vs %d events)",
+					spec, variant.name, len(got), len(base))
+			}
+		}
+	}
+}
+
+// TestRoundInfoDeltas pins satellite 6: RoundInfo carries per-round
+// counter deltas that sum back to the run totals, including Blocked
+// under a partition plan.
+func TestRoundInfoDeltas(t *testing.T) {
+	plan, err := ParseFaultPlan("part:2@0.2..0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(Config{N: 256, Seed: 17, Loss: 0.05, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRun := map[int]*RoundDelta{}
+	lastCum := map[int]RoundInfo{}
+	var lastRun int
+	nw.Observe(ObserverFunc(func(ri RoundInfo) {
+		d := perRun[ri.Run]
+		if d == nil {
+			d = &RoundDelta{}
+			perRun[ri.Run] = d
+		}
+		d.Messages += ri.Delta.Messages
+		d.Drops += ri.Delta.Drops
+		d.Blocked += ri.Delta.Blocked
+		d.Calls += ri.Delta.Calls
+		lastCum[ri.Run] = ri
+		lastRun = ri.Run
+	}))
+	a, err := nw.Average(uniformValues(256, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := perRun[lastRun]
+	if got == nil {
+		t.Fatal("no rounds observed")
+	}
+	// The deltas telescope: summed over a run they reproduce the run's
+	// last cumulative snapshot exactly. (The run total in Cost can exceed
+	// the last snapshot by messages sent after the final Tick.)
+	cum := lastCum[lastRun]
+	if got.Messages != cum.Messages || got.Drops != cum.Drops {
+		t.Errorf("delta sums (%d msgs, %d drops) != last snapshot (%d, %d)",
+			got.Messages, got.Drops, cum.Messages, cum.Drops)
+	}
+	if a.Cost.Messages < cum.Messages || a.Cost.Drops < cum.Drops {
+		t.Errorf("cost (%d, %d) below last snapshot (%d, %d)",
+			a.Cost.Messages, a.Cost.Drops, cum.Messages, cum.Drops)
+	}
+	if got.Blocked == 0 {
+		t.Error("partition plan produced no Blocked delta — satellite contract broken")
+	}
+}
+
+// TestRoundInfoResidual checks the richer RoundInfo: during the gossip
+// phase of an observed Average run the driver reports a residual, and it
+// is finite at least once.
+func TestRoundInfoResidual(t *testing.T) {
+	nw, err := New(Config{N: 256, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFinite := false
+	sawPhase := false
+	nw.Observe(ObserverFunc(func(ri RoundInfo) {
+		if ri.Phase == "gossip" {
+			sawPhase = true
+			if !math.IsNaN(ri.Residual) {
+				sawFinite = true
+			}
+		}
+	}))
+	if _, err := nw.Average(uniformValues(256, 29)); err != nil {
+		t.Fatal(err)
+	}
+	if !sawPhase {
+		t.Fatal("observer never saw the gossip phase")
+	}
+	if !sawFinite {
+		t.Error("no finite residual observed during the gossip phase")
+	}
+}
+
+// TestQuantileSessionChromeTrace is the acceptance criterion's trace
+// half: a whole Quantile session renders as valid Chrome trace-event
+// JSON with one span per protocol run.
+func TestQuantileSessionChromeTrace(t *testing.T) {
+	var buf telemetry.Buffer
+	nw, err := New(Config{N: 512, Seed: 41, Telemetry: &telemetry.Options{Sink: &buf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := nw.Quantile(uniformValues(512, 43), 0.9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&out, buf.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &tr); err != nil {
+		t.Fatalf("quantile trace is not valid JSON: %v", err)
+	}
+	runSpans := 0
+	for _, te := range tr.TraceEvents {
+		if te.Ph == "X" && te.Tid == 1 {
+			runSpans++
+		}
+	}
+	if runSpans != a.Cost.Runs {
+		t.Errorf("trace has %d run spans, answer billed %d runs", runSpans, a.Cost.Runs)
+	}
+}
+
+// TestMomentsPhaseCosts pins the Moments pipeline's telescoped phase
+// accounting (it reports Phases via counter snapshots rather than the
+// shared pipeline helper).
+func TestMomentsPhaseCosts(t *testing.T) {
+	nw, err := New(Config{N: 256, Seed: 47, Loss: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := nw.Moments(uniformValues(256, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, messages, drops := sumPhases(a.PhaseCosts)
+	if rounds != a.Cost.Rounds || messages != a.Cost.Messages || drops != a.Cost.Drops {
+		t.Errorf("moments phase sum (%d, %d, %d) != cost (%d, %d, %d)",
+			rounds, messages, drops, a.Cost.Rounds, a.Cost.Messages, a.Cost.Drops)
+	}
+	for _, pc := range a.PhaseCosts {
+		if pc.Messages < 0 || pc.Rounds < 0 {
+			t.Errorf("negative phase bill: %+v", pc)
+		}
+	}
+}
+
+// TestTelemetryFaultEvents checks that a crash plan surfaces KindFault
+// events carrying the transitioned node, and that run boundaries pair up.
+func TestTelemetryFaultEvents(t *testing.T) {
+	plan, err := ParseFaultPlan("crash:0.1@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf telemetry.Buffer
+	nw, err := New(Config{N: 256, Seed: 59, Faults: plan, Telemetry: &telemetry.Options{Sink: &buf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Max(uniformValues(256, 61)); err != nil {
+		t.Fatal(err)
+	}
+	starts, ends, faults := 0, 0, 0
+	for _, ev := range buf.Events() {
+		switch ev.Kind {
+		case telemetry.KindRunStart:
+			starts++
+		case telemetry.KindRunEnd:
+			ends++
+		case telemetry.KindFault:
+			faults++
+			if !ev.Crash || ev.Node < 0 || ev.Node >= 256 {
+				t.Errorf("malformed fault event: %+v", ev)
+			}
+		}
+	}
+	if starts == 0 || starts != ends {
+		t.Errorf("run boundaries unbalanced: %d starts, %d ends", starts, ends)
+	}
+	if faults == 0 {
+		t.Error("crash plan emitted no fault events")
+	}
+	// The engine is pooled across the horizon pre-run and the faulted
+	// run; every event's phase must be a real label (Reset cleared state
+	// between runs) and seq must restart per run.
+	for _, ev := range buf.Events() {
+		if ev.Kind == telemetry.KindRunStart && ev.Seq != 1 {
+			t.Errorf("run %d: RunStart seq = %d, want 1", ev.Run, ev.Seq)
+		}
+	}
+}
+
+// TestTelemetryMetricsSink wires the live Metrics aggregator as the
+// session sink and checks the counters line up with the answer's bill.
+func TestTelemetryMetricsSink(t *testing.T) {
+	m := telemetry.NewMetrics()
+	nw, err := New(Config{N: 256, Seed: 67, Loss: 0.05, Telemetry: &telemetry.Options{Sink: m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := nw.Quantile(uniformValues(256, 71), 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	m.WritePrometheus(&out)
+	text := out.String()
+	if !bytes.Contains(out.Bytes(), []byte("drrgossip_runs_finished_total")) {
+		t.Fatalf("metrics output missing run counter:\n%s", text)
+	}
+	_ = a
+}
+
+// sumDeltas folds an event stream's deltas per run and checks them
+// against each run's closing totals.
+func TestEventDeltasCloseRuns(t *testing.T) {
+	var buf telemetry.Buffer
+	nw, err := New(Config{N: 256, Seed: 73, Loss: 0.1, Telemetry: &telemetry.Options{Sink: &buf, RoundEvery: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Average(uniformValues(256, 79)); err != nil {
+		t.Fatal(err)
+	}
+	sums := map[int]sim.Counters{}
+	finals := map[int]sim.Counters{}
+	for _, ev := range buf.Events() {
+		s := sums[ev.Run]
+		s.Rounds += ev.Delta.Rounds
+		s.Messages += ev.Delta.Messages
+		s.Drops += ev.Delta.Drops
+		s.Blocked += ev.Delta.Blocked
+		s.Calls += ev.Delta.Calls
+		sums[ev.Run] = s
+		if ev.Kind == telemetry.KindRunEnd {
+			finals[ev.Run] = ev.Counters
+		}
+	}
+	if len(finals) == 0 {
+		t.Fatal("no completed runs in stream")
+	}
+	for run, final := range finals {
+		if sums[run] != final {
+			t.Errorf("run %d: delta sum %+v != final %+v", run, sums[run], final)
+		}
+	}
+}

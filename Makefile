@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt fmt-check doc-check bench bench-smoke bench-perf bench-guard bench-scale bench-scale-full ci
+.PHONY: all build test test-short race vet fmt fmt-check doc-check bench bench-smoke bench-perf bench-guard bench-scale bench-scale-full bench-async ci
 
 all: ci
 
@@ -26,10 +26,11 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Documentation gate: every exported identifier in the root package and
-# internal/overlay must carry a doc comment (see cmd/godoclint).
+# Documentation gate: every exported identifier in the root package,
+# internal/overlay and the async subsystem must carry a doc comment
+# (see cmd/godoclint).
 doc-check:
-	$(GO) run ./cmd/godoclint . ./internal/overlay
+	$(GO) run ./cmd/godoclint . ./internal/overlay ./internal/async ./internal/pairwise
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
@@ -69,5 +70,10 @@ bench-scale:
 
 bench-scale-full:
 	$(GO) run ./cmd/benchtab -experiment SC1 -json
+
+# Async baseline study (AS1): DRR vs the asynchronous pairwise-averaging
+# family at n=10^4 with machine-checked verdicts; writes BENCH_AS1.json.
+bench-async:
+	$(GO) run ./cmd/benchtab -experiment AS1 -json
 
 ci: build vet fmt-check doc-check test

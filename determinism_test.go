@@ -147,6 +147,64 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// Async-mode determinism: the event-driven engine is strictly
+// sequential, so GOMAXPROCS-independence is structural — pinned here
+// end to end through the facade anyway (the contract outlives the
+// implementation), across repeated runs on one session (fresh engine
+// per run must not leak state), with loss, with an initial crash set,
+// with a fractional-timing fault plan (horizon pre-run + wall-clock
+// binding), and for every peer-selection policy.
+func TestAsyncDeterminism(t *testing.T) {
+	const n = 512
+	values := uniformValues(n, 71)
+	churn, err := ParseFaultPlan("crash:0.2@0.5;rejoin@0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"complete-uniform", Config{N: n, Seed: 72, Mode: Async, Loss: 0.05, SampleNodes: AllNodes}},
+		{"complete-samplegreedy", Config{N: n, Seed: 73, Mode: Async, AsyncPeer: "samplegreedy",
+			CrashFraction: 0.1, SampleNodes: AllNodes}},
+		{"smallworld-gge", Config{N: n, Seed: 74, Mode: Async, AsyncPeer: "gge",
+			Topology: SmallWorld, SampleNodes: AllNodes}},
+		{"complete-faulty", Config{N: n, Seed: 75, Mode: Async, Loss: 0.02,
+			Faults: churn, SampleNodes: AllNodes}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(procs int) *Answer {
+				old := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(old)
+				nw, err := New(tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				first, err := nw.Run(AverageOf(values))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Session repeat: the second run reuses the session (and its
+				// cached fault binding) and must reproduce the first bitwise.
+				second, err := nw.Run(AverageOf(values))
+				if err != nil {
+					t.Fatal(err)
+				}
+				answersEqual(t, fmt.Sprintf("procs=%d session repeat", procs), first, second)
+				return first
+			}
+			serial := run(1)
+			for _, procs := range []int{2, 8} {
+				answersEqual(t, fmt.Sprintf("GOMAXPROCS=%d", procs), serial, run(procs))
+			}
+			if serial.Cost.Clock <= 0 || serial.Cost.Rounds == 0 {
+				t.Fatalf("async run reported no progress: %+v", serial.Cost)
+			}
+		})
+	}
+}
+
 // The same property through the public facade, where the fault plan's
 // horizon-measurement pre-run doubles the engine executions.
 func TestFacadeDeterminismUnderFaults(t *testing.T) {

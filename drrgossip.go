@@ -81,13 +81,47 @@ import (
 	"fmt"
 	"strings"
 
+	"drrgossip/internal/async"
 	"drrgossip/internal/chord"
 	core "drrgossip/internal/drrgossip"
 	"drrgossip/internal/faults"
 	"drrgossip/internal/overlay"
+	"drrgossip/internal/pairwise"
 	"drrgossip/internal/sim"
 	"drrgossip/internal/telemetry"
 )
+
+// Mode selects the session's execution model.
+type Mode uint8
+
+const (
+	// Sync (the zero value) is the paper's synchronous-rounds model:
+	// every query runs a DRR-gossip pipeline on the round-based engine.
+	Sync Mode = iota
+	// Async is the classical asynchronous time model: per-node Poisson
+	// clocks drive an event-heap engine (internal/async), and AverageOf
+	// queries run randomized pairwise averaging (internal/pairwise) with
+	// the peer-selection policy named by Config.AsyncPeer. Only
+	// AverageOf is supported — the pairwise family computes averages;
+	// every other operation reports an error. Costs come back with
+	// Cost.Rounds = dispatched events, Cost.Clock = simulated wall-clock
+	// time and the same per-transmission Messages unit as Sync (one
+	// exchange = 2 messages), so DRR's message bill and the classical
+	// family's are directly comparable (experiment AS1).
+	Async
+)
+
+// String renders the mode ("sync", "async").
+func (m Mode) String() string {
+	switch m {
+	case Sync:
+		return "sync"
+	case Async:
+		return "async"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
 
 // Topology selects the communication substrate. The zero value is
 // Complete (the paper's random phone call model); every other topology
@@ -230,6 +264,18 @@ type Config struct {
 	// memory studies (SC1), and costs O(edges) extra memory. No effect
 	// on the Complete topology, which builds no overlay graph.
 	LegacySliceAdjacency bool
+	// Mode selects the execution model: Sync (default) runs the paper's
+	// synchronous DRR-gossip pipelines; Async runs classical asynchronous
+	// pairwise averaging on per-node Poisson clocks (AverageOf only).
+	Mode Mode
+	// AsyncPeer names the Async-mode peer-selection policy: "uniform"
+	// (or "", the default), "gge" (greedy gossip with eavesdropping —
+	// sparse overlays only), or "samplegreedy". Ignored in Sync mode.
+	AsyncPeer string
+	// AsyncEps is the Async-mode convergence threshold: a run stops when
+	// the spread (max − min) of the alive estimates is <= AsyncEps. 0
+	// picks 1e-6. Ignored in Sync mode.
+	AsyncEps float64
 }
 
 // AllNodes is the Config.SampleNodes sentinel requesting the full
@@ -296,6 +342,24 @@ func (c Config) validate() error {
 	if c.SampleNodes < AllNodes {
 		return fmt.Errorf("%w: SampleNodes must be >= 0 or AllNodes, got %d", ErrBadConfig, c.SampleNodes)
 	}
+	switch c.Mode {
+	case Sync:
+		if c.AsyncPeer != "" {
+			return fmt.Errorf("%w: AsyncPeer %q set with Mode Sync", ErrBadConfig, c.AsyncPeer)
+		}
+	case Async:
+		if _, err := pairwise.NewSelector(c.AsyncPeer); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		if c.AsyncPeer == "gge" && c.Topology.isComplete() {
+			return fmt.Errorf("%w: AsyncPeer gge needs a sparse Topology (its eavesdrop cache is O(edges))", ErrBadConfig)
+		}
+		if c.AsyncEps < 0 {
+			return fmt.Errorf("%w: AsyncEps must be >= 0, got %v", ErrBadConfig, c.AsyncEps)
+		}
+	default:
+		return fmt.Errorf("%w: unknown Mode %v", ErrBadConfig, c.Mode)
+	}
 	if c.Topology.isComplete() {
 		return nil
 	}
@@ -318,6 +382,10 @@ func (c Config) checkValues(values []float64) error {
 
 func (c Config) simOptions() sim.Options {
 	return sim.Options{Seed: c.Seed, Loss: c.Loss, CrashFrac: c.CrashFraction, Shards: c.Workers}
+}
+
+func (c Config) asyncOptions() async.Options {
+	return async.Options{Seed: c.Seed, Loss: c.Loss, CrashFrac: c.CrashFraction}
 }
 
 func (c Config) engine() *sim.Engine {

@@ -17,6 +17,7 @@ func answersEqual(t *testing.T, label string, a, b *Answer) {
 	t.Helper()
 	if a.Op != b.Op || !sameFloat(a.Value, b.Value) || a.Consensus != b.Consensus ||
 		a.Cost != b.Cost || a.Trees != b.Trees || a.Alive != b.Alive ||
+		a.Exchanges != b.Exchanges ||
 		a.FaultEvents != b.FaultEvents || a.FaultCrashes != b.FaultCrashes ||
 		a.FaultRevives != b.FaultRevives || a.Converged != b.Converged ||
 		!sameFloat(a.Mean, b.Mean) || !sameFloat(a.Variance, b.Variance) ||

@@ -1,0 +1,119 @@
+// Asyncave: the two execution models side by side. The same population
+// computes its average twice — once with the paper's synchronous
+// DRR-gossip pipeline (Mode: Sync, the default), once with classical
+// asynchronous pairwise averaging on Poisson clocks (Mode: Async) — and
+// the example prints the bills in the shared accounting unit (one
+// transmission = one message) plus a convergence-residual table streamed
+// live from the async runs through a session observer. The async legs
+// sweep the three peer-selection policies on a Chord overlay,
+// showing why greedy selection (GGE, sample-greedy) earns its place in
+// the literature: fewer exchanges to the same ε.
+//
+//	go run ./examples/asyncave
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"drrgossip"
+)
+
+const (
+	n    = 1024
+	seed = 17
+	eps  = 1e-6
+)
+
+// residualTap records the convergence residual (the spread of the alive
+// estimates) at fixed event strides, building the walkthrough's table.
+type residualTap struct {
+	every int
+	rows  map[int]float64 // events -> residual
+}
+
+func (rt *residualTap) OnRound(ri drrgossip.RoundInfo) {
+	if ri.Round%rt.every == 0 && !math.IsNaN(ri.Residual) {
+		rt.rows[ri.Round] = ri.Residual
+	}
+}
+
+func main() {
+	// A bimodal population: half the values near 0, half near 1000 —
+	// averaging has real work to do.
+	values := make([]float64, n)
+	for i := range values {
+		if i%2 == 0 {
+			values[i] = float64(i % 7)
+		} else {
+			values[i] = 1000 - float64(i%11)
+		}
+	}
+	exact := 0.0
+	for _, v := range values {
+		exact += v
+	}
+	exact /= n
+
+	// Leg 1: the synchronous DRR-gossip pipeline on the Chord overlay
+	// (the Section 4 sparse pipeline).
+	syncNet, err := drrgossip.New(drrgossip.Config{N: n, Seed: seed, Topology: drrgossip.Chord})
+	if err != nil {
+		log.Fatal(err)
+	}
+	syncAns, err := syncNet.Run(drrgossip.AverageOf(values))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("population of %d on a Chord overlay, exact mean %.3f\n\n", n, exact)
+	fmt.Printf("%-22s %10s %12s %10s %12s\n", "protocol", "exchanges", "messages", "clock", "value err")
+	fmt.Printf("%-22s %10s %12d %10s %12.2e\n",
+		"drr-gossip (sync)", "-", syncAns.Cost.Messages, fmt.Sprintf("%d rounds", syncAns.Cost.Rounds),
+		math.Abs(syncAns.Value-exact))
+
+	// Legs 2-4: asynchronous pairwise averaging, one session per
+	// peer-selection policy, each streaming its residual trajectory.
+	taps := map[string]*residualTap{}
+	for _, peer := range []string{"uniform", "gge", "samplegreedy"} {
+		net, err := drrgossip.New(drrgossip.Config{
+			N: n, Seed: seed, Topology: drrgossip.Chord,
+			Mode: drrgossip.Async, AsyncPeer: peer, AsyncEps: eps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tap := &residualTap{every: 4 * n, rows: map[int]float64{}}
+		taps[peer] = tap
+		net.Observe(tap)
+		ans, err := net.Run(drrgossip.AverageOf(values))
+		if err != nil {
+			log.Fatal(err)
+		}
+		conv := fmt.Sprintf("%.1f", ans.Cost.Clock)
+		if !ans.Converged {
+			conv += " (cap)"
+		}
+		fmt.Printf("%-22s %10d %12d %10s %12.2e\n",
+			"pairwise/"+peer, ans.Exchanges, ans.Cost.Messages, conv, math.Abs(ans.Value-exact))
+	}
+
+	// The residual table: how fast each policy closes the spread. Rows
+	// are event counts (n events ≈ one expected tick per node).
+	fmt.Printf("\nconvergence residual (spread of estimates) by dispatched events:\n")
+	fmt.Printf("%10s %14s %14s %14s\n", "events", "uniform", "gge", "samplegreedy")
+	for ev := 4 * n; ev <= 64*n; ev *= 2 {
+		fmt.Printf("%10d", ev)
+		for _, peer := range []string{"uniform", "gge", "samplegreedy"} {
+			if r, ok := taps[peer].rows[ev]; ok {
+				fmt.Printf(" %14.3e", r)
+			} else {
+				fmt.Printf(" %14s", "converged")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nevery protocol pays per transmission; the async exchanges bill 2 messages each.\n")
+	fmt.Printf("greedy eavesdropping spends each exchange where the gap is largest — fewer\n")
+	fmt.Printf("exchanges to ε=%.0e than uniform selection on the same overlay.\n", eps)
+}

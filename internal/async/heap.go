@@ -1,0 +1,78 @@
+// The event heap: a hand-rolled binary min-heap over clock-tick events
+// with a total order, so the pop sequence — and with it every downstream
+// random draw — is fully determined by the event set and never by
+// insertion order or float coincidences.
+
+package async
+
+// event is one scheduled clock tick: node fires at simulated time at.
+// seq is the engine's monotonically increasing scheduling sequence
+// number, the final tie-break that makes the order total even if two
+// events collide on both time and node (which cannot happen for clock
+// ticks — a node has one pending tick — but keeps the heap safe for
+// future event kinds).
+type event struct {
+	at   float64
+	node int32
+	seq  uint64
+}
+
+// before is the heap's total order: (time, node id, seq) lexicographic.
+// Equal-time events dispatch in node-id order — the stable tie-break the
+// determinism contract pins (see TestHeapTieBreak).
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a binary min-heap under event.before. The zero value is
+// an empty heap ready for use.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.ev[i].before(h.ev[p]) {
+			break
+		}
+		h.ev[i], h.ev[p] = h.ev[p], h.ev[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event; it must not be called on an
+// empty heap.
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.ev[l].before(h.ev[m]) {
+			m = l
+		}
+		if r < last && h.ev[r].before(h.ev[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.ev[i], h.ev[m] = h.ev[m], h.ev[i]
+		i = m
+	}
+	return top
+}

@@ -43,6 +43,21 @@ type action struct {
 	link  [2]int  // severed link
 }
 
+// Host is the engine surface a Bound drives: membership control plus
+// the two hook points the schedule installs itself on. Both engines
+// satisfy it — sim.Engine reads the round hook's argument as its
+// synchronous round index, async.Engine as a wall-clock fault tick
+// (async.TicksPerUnit ticks per unit of simulated time) — so one plan
+// grammar, one Bind and one action schedule serve both execution
+// models; only the horizon's unit differs at Bind time.
+type Host interface {
+	Alive(i int) bool
+	Crash(i int)
+	Revive(i int)
+	SetLinkFault(f sim.LinkFault)
+	SetRoundHook(h func(round int))
+}
+
 // Bound is a plan resolved against a concrete (n, seed, horizon): a
 // deterministic per-round schedule of engine state changes. Attach binds
 // it to an engine; re-attaching to a fresh engine resets the runtime
@@ -53,7 +68,7 @@ type Bound struct {
 	n       int
 	actions map[int][]action // the immutable schedule Bind resolved
 
-	eng       *sim.Engine
+	eng       Host
 	remaining map[int][]action  // this attachment's not-yet-fired rounds
 	bursts    map[int]float64   // active loss bursts
 	parts     map[int][]int     // active partitions: handle -> group ids
@@ -240,7 +255,7 @@ func orient(a, b int) [2]int {
 // needs no locking under sim.Options.Shards > 1 and fault application
 // is bit-identical for any shard count (pinned by the facade's
 // TestWorkersBitIdenticalAnswers).
-func (b *Bound) Attach(eng *sim.Engine) {
+func (b *Bound) Attach(eng Host) {
 	b.eng = eng
 	b.remaining = make(map[int][]action, len(b.actions))
 	for r, acts := range b.actions {

@@ -1,0 +1,267 @@
+// Package pairwise implements the classical randomized pairwise-averaging
+// protocol family over the asynchronous engine (internal/async): when a
+// node's Poisson clock ticks, it picks one partner, the two exchange
+// their current estimates, and both replace them with the average. The
+// family is exactly the baseline the DRR-gossip paper positions itself
+// against — "Gossip Algorithms for Distributed Signal Processing"
+// (Dimakis, Kar, Moura, Rabbat, Scaglione) — and the peer-selection
+// policies are pluggable: uniform random neighbor, greedy eavesdropping
+// (Üstebay, Oreshkin, Coates, Rabbat, "Greedy Gossip with
+// Eavesdropping"), and sample-greedy (Shin, He, Tsourdos). See select.go.
+//
+// # Node state machine
+//
+// The protocol is a transport-agnostic state machine (Proto): OnTick
+// proposes a partner and emits the request, OnRequest is the partner's
+// inbox→outbox step (average, commit, reply), OnReply commits the
+// initiator. The simulated driver (Ave) delivers the handshake through
+// async.Engine.Exchange — which decides loss and billing for both legs
+// up front, so a failed handshake commits neither endpoint and the
+// population mean stays invariant (the reliable-handshake assumption of
+// the pairwise-averaging analyses). A real-transport backend would
+// deliver the same three steps over sockets; the machine cannot tell.
+//
+// # Cost model
+//
+// One committed exchange = one request + one reply = 2 messages, the
+// same per-transmission accounting unit as the synchronous pipelines.
+// Convergence is measured on the spread (max − min) of the alive nodes'
+// estimates; the driver sweeps it every Options.CheckEvery events and
+// stops at Options.Eps. Exchanges-to-ε on the complete graph grows as
+// Θ(n log n) for fixed ε (Boyd, Ghosh, Prabhakar, Shah) — the curve the
+// AS1 experiment fits, and the bill DRR-gossip's O(n log log n) beats.
+package pairwise
+
+import (
+	"fmt"
+	"math"
+
+	"drrgossip/internal/async"
+	"drrgossip/internal/graph"
+	"drrgossip/internal/sim"
+	"drrgossip/internal/xrand"
+)
+
+// Phase is the label the driver reports for the single protocol phase.
+const Phase = "pairwise"
+
+// Options tune one pairwise-averaging run.
+type Options struct {
+	// Eps is the convergence threshold: the run stops when the spread
+	// (max − min over alive nodes' estimates) is <= Eps. 0 means 1e-6.
+	Eps float64
+	// CheckEvery is the number of events between convergence sweeps
+	// (0 = n: one sweep per expected full clock rotation). Sweeps are
+	// O(n) reads; the protocol itself never needs them.
+	CheckEvery int
+	// MaxEvents caps the event loop for runs that cannot reach Eps
+	// (isolated nodes, slow-mixing graphs); the Result then reports
+	// Converged == false. 0 picks 64n + 32·n·ceil(log2 n).
+	MaxEvents int
+}
+
+// Result reports one pairwise-averaging run.
+type Result struct {
+	// Value is the mean of the alive nodes' estimates at termination —
+	// the protocol's answer (all alive estimates agree to within Spread).
+	Value float64
+	// PerNode holds each node's final estimate (NaN for dead nodes).
+	PerNode []float64
+	// Converged reports whether Spread reached Eps before MaxEvents.
+	Converged bool
+	// Spread is the final max − min over alive estimates.
+	Spread float64
+	// Exchanges counts committed pairwise exchanges (each billed 2
+	// messages); failed handshakes bill their messages but commit nothing.
+	Exchanges int64
+	// Events is the number of clock ticks dispatched.
+	Events int
+	// Clock is the simulated wall-clock time at termination.
+	Clock float64
+	// Stats is the engine's counter bill for the run.
+	Stats sim.Counters
+}
+
+// Proto is the pairwise-averaging node state machine. Its three steps
+// are the whole protocol; everything else (clocks, transport, billing,
+// faults) lives in the engine driving it.
+type Proto struct {
+	st  state
+	sel Selector
+
+	// Exchanges counts committed exchanges so far.
+	Exchanges int64
+}
+
+// NewProto builds the machine for n nodes holding values, over graph g
+// (nil means the complete graph) with the given peer-selection policy.
+func NewProto(n int, g *graph.Graph, values []float64, sel Selector) (*Proto, error) {
+	if len(values) != n {
+		return nil, fmt.Errorf("pairwise: %d values for n=%d", len(values), n)
+	}
+	if g != nil && g.N() != n {
+		return nil, fmt.Errorf("pairwise: graph has %d nodes, engine %d", g.N(), n)
+	}
+	if sel == nil {
+		sel = Uniform()
+	}
+	p := &Proto{sel: sel}
+	p.st = state{n: n, g: g, x: append([]float64(nil), values...)}
+	if err := sel.init(&p.st); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// OnTick is node u's clock action: pick a partner and emit the request
+// carrying u's current estimate. ok is false when u has no candidate
+// (isolated node), in which case nothing is sent.
+func (p *Proto) OnTick(u int, rng *xrand.Stream) (partner int, xu float64, ok bool) {
+	v := p.sel.pick(&p.st, u, rng)
+	if v < 0 {
+		return -1, 0, false
+	}
+	return v, p.st.x[u], true
+}
+
+// OnRequest is partner v's inbox→outbox step: average the received
+// estimate with its own, commit, and reply with the average.
+func (p *Proto) OnRequest(v int, xu float64) (avg float64) {
+	avg = (xu + p.st.x[v]) / 2
+	p.st.x[v] = avg
+	return avg
+}
+
+// OnReply commits initiator u with the averaged estimate and closes the
+// exchange: both endpoints now hold avg, and the selectors' broadcast
+// tap fires (eavesdropping policies refresh what u's and v's neighbors
+// overheard).
+func (p *Proto) OnReply(u, v int, avg float64) {
+	p.st.x[u] = avg
+	p.Exchanges++
+	p.sel.committed(&p.st, u, v)
+}
+
+// X returns the live per-node estimate vector (not a copy).
+func (p *Proto) X() []float64 { return p.st.x }
+
+// Spread returns max − min of the estimates over nodes where alive
+// reports true (0 when fewer than two such nodes exist).
+func (p *Proto) Spread(alive func(int) bool) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	seen := 0
+	for i := 0; i < p.st.n; i++ {
+		if !alive(i) {
+			continue
+		}
+		seen++
+		v := p.st.x[i]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if seen < 2 {
+		return 0
+	}
+	return hi - lo
+}
+
+// defaultMaxEvents is the event cap for runs that never reach Eps:
+// generous against the Θ(n log n) exchanges of well-mixing graphs, a
+// deliberate cutoff for slow-mixing ones (a 2-D torus needs Θ(n²)
+// exchanges — the geographic-gossip motivation — and capping there is
+// the honest result, reported as Converged == false).
+func defaultMaxEvents(n int) int {
+	lg := 1
+	for 1<<lg < n {
+		lg++
+	}
+	return 64*n + 32*n*lg
+}
+
+// Ave runs pairwise averaging on eng over graph g (nil = complete) until
+// the spread of the alive estimates reaches opts.Eps or the event cap.
+// All randomness comes from the engine's derived streams, so equal
+// (engine options, g, values, selector) give bit-identical results.
+func Ave(eng *async.Engine, g *graph.Graph, values []float64, sel Selector, opts Options) (*Result, error) {
+	n := eng.N()
+	p, err := NewProto(n, g, values, sel)
+	if err != nil {
+		return nil, err
+	}
+	eps := opts.Eps
+	if eps == 0 {
+		eps = 1e-6
+	}
+	check := opts.CheckEvery
+	if check <= 0 {
+		check = n
+	}
+	maxEvents := opts.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = defaultMaxEvents(n)
+	}
+	eng.SetPhase(Phase)
+	spread := p.Spread(eng.Alive)
+	eng.ReportResidual(spread)
+	converged := spread <= eps
+	sinceCheck := 0
+	handler := func(u int) {
+		v, xu, ok := p.OnTick(u, eng.RNG(u))
+		if !ok {
+			return
+		}
+		if !eng.Exchange(u, v) {
+			return
+		}
+		avg := p.OnRequest(v, xu)
+		p.OnReply(u, v, avg)
+	}
+	stop := func() bool {
+		sinceCheck++
+		if sinceCheck >= check {
+			sinceCheck = 0
+			spread = p.Spread(eng.Alive)
+			eng.ReportResidual(spread)
+			converged = spread <= eps
+		}
+		return converged
+	}
+	events := 0
+	if !converged { // an already-tight input (single node, equal values) costs nothing
+		events = eng.Run(handler, stop, maxEvents)
+	}
+	if !converged {
+		// The cap can land between sweeps; close the books on live state.
+		spread = p.Spread(eng.Alive)
+		eng.ReportResidual(spread)
+		converged = spread <= eps
+	}
+	res := &Result{
+		PerNode:   p.st.x,
+		Converged: converged,
+		Spread:    spread,
+		Exchanges: p.Exchanges,
+		Events:    events,
+		Clock:     eng.Now(),
+		Stats:     eng.Stats(),
+	}
+	sum, alive := 0.0, 0
+	for i := 0; i < n; i++ {
+		if eng.Alive(i) {
+			sum += p.st.x[i]
+			alive++
+		} else {
+			res.PerNode[i] = math.NaN()
+		}
+	}
+	if alive > 0 {
+		res.Value = sum / float64(alive)
+	} else {
+		res.Value = math.NaN()
+	}
+	return res, nil
+}

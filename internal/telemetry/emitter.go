@@ -2,6 +2,20 @@ package telemetry
 
 import "drrgossip/internal/sim"
 
+// EngineView is the engine surface the emitter samples: counters, the
+// progress index (synchronous rounds, or dispatched events on the async
+// engine — both expose it as Round), the phase label, live membership
+// and the driver-reported convergence residual. Both sim.Engine and
+// async.Engine satisfy it, so one emitter serves both execution models
+// and a sink cannot tell them apart beyond the op name.
+type EngineView interface {
+	Stats() sim.Counters
+	Round() int
+	Phase() string
+	NumAlive() int
+	Residual() float64
+}
+
 // Emitter drives the event stream for one session: the facade calls
 // RunStart/RunEnd around every protocol run and wires Phase/Round/Fault
 // into the engine's observer hooks. It keeps the per-run sequence
@@ -55,7 +69,7 @@ func (em *Emitter) RoundEvery() int {
 
 // fill populates the reusable event from the engine's current state and
 // advances the per-run delta baseline.
-func (em *Emitter) fill(eng *sim.Engine, kind Kind) *Event {
+func (em *Emitter) fill(eng EngineView, kind Kind) *Event {
 	cur := eng.Stats()
 	em.seq++
 	em.ev = Event{
@@ -77,7 +91,7 @@ func (em *Emitter) fill(eng *sim.Engine, kind Kind) *Event {
 
 // RunStart opens run number run (the session's protocol-run index) for
 // operation op on eng and emits the KindRunStart event.
-func (em *Emitter) RunStart(run int, op string, eng *sim.Engine) {
+func (em *Emitter) RunStart(run int, op string, eng EngineView) {
 	if em == nil {
 		return
 	}
@@ -91,7 +105,7 @@ func (em *Emitter) RunStart(run int, op string, eng *sim.Engine) {
 // Phase emits a KindPhase event for the transition the engine just
 // recorded (wired into sim.SetPhaseObserver). Its Delta bills the
 // segment that just completed.
-func (em *Emitter) Phase(eng *sim.Engine) {
+func (em *Emitter) Phase(eng EngineView) {
 	if em == nil {
 		return
 	}
@@ -100,7 +114,7 @@ func (em *Emitter) Phase(eng *sim.Engine) {
 
 // Round emits a KindRound sample when the engine's round lands on the
 // configured stride (wired into the engine round observer).
-func (em *Emitter) Round(eng *sim.Engine) {
+func (em *Emitter) Round(eng EngineView) {
 	if em == nil || em.roundEvery <= 0 || eng.Round()%em.roundEvery != 0 {
 		return
 	}
@@ -109,7 +123,7 @@ func (em *Emitter) Round(eng *sim.Engine) {
 
 // Fault emits a KindFault event for a membership transition (wired into
 // sim.SetMembershipObserver): alive=false is a crash, true a revive.
-func (em *Emitter) Fault(eng *sim.Engine, node int, alive bool) {
+func (em *Emitter) Fault(eng EngineView, node int, alive bool) {
 	if em == nil {
 		return
 	}
@@ -122,7 +136,7 @@ func (em *Emitter) Fault(eng *sim.Engine, node int, alive bool) {
 // RunEnd closes the run: its Counters are the final totals and its
 // Delta closes the last segment, making the run's Deltas sum exactly to
 // the totals.
-func (em *Emitter) RunEnd(eng *sim.Engine) {
+func (em *Emitter) RunEnd(eng EngineView) {
 	if em == nil {
 		return
 	}

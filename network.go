@@ -210,6 +210,9 @@ func (nw *Network) Run(q Query) (*Answer, error) { return nw.RunContext(context.
 // interrupted mid-protocol.
 func (nw *Network) RunContext(ctx context.Context, q Query) (*Answer, error) {
 	nw.queries++
+	if nw.cfg.Mode == Async {
+		return nw.runAsync(ctx, q)
+	}
 	switch q.Op {
 	case OpMax, OpMin, OpSum, OpCount, OpAverage, OpRank, OpMoments:
 		return nw.aggregate(ctx, q)
@@ -281,10 +284,24 @@ func (nw *Network) RunAllContext(ctx context.Context, queries []Query, opts ...B
 // observe another.
 func (nw *Network) runAllParallel(ctx context.Context, queries []Query, workers int) ([]*Answer, Cost, error) {
 	if !nw.cfg.Faults.Empty() {
-		for _, q := range queries {
-			for _, op := range q.baseOps(true) {
-				if _, err := nw.bind(ctx, op, dispatch(op, q.Values, q.Arg)); err != nil {
-					return nil, Cost{}, fmt.Errorf("binding fault plan for %s: %w", op, err)
+		if nw.cfg.Mode == Async {
+			// One binding serves the whole async batch (OpAverage only);
+			// resolve it on the first average query's values.
+			for _, q := range queries {
+				if q.Op != OpAverage {
+					continue
+				}
+				if _, err := nw.bindAsync(ctx, q.Values); err != nil {
+					return nil, Cost{}, fmt.Errorf("binding fault plan for %s: %w", OpAverage, err)
+				}
+				break
+			}
+		} else {
+			for _, q := range queries {
+				for _, op := range q.baseOps(true) {
+					if _, err := nw.bind(ctx, op, dispatch(op, q.Values, q.Arg)); err != nil {
+						return nil, Cost{}, fmt.Errorf("binding fault plan for %s: %w", op, err)
+					}
 				}
 			}
 		}
@@ -584,8 +601,10 @@ func (nw *Network) bind(ctx context.Context, op Op, run protoFunc) (*faults.Boun
 	return b, nil
 }
 
-// notify fans a round snapshot out to the observers.
-func (nw *Network) notify(run, round int, eng *sim.Engine, b *faults.Bound) {
+// notify fans a round snapshot out to the observers. In Async mode the
+// same path streams per-event snapshots, with the dispatched event count
+// standing in for the round index.
+func (nw *Network) notify(run, round int, eng telemetry.EngineView, b *faults.Bound) {
 	st := eng.Stats()
 	d := st.Sub(nw.lastRound)
 	nw.lastRound = st

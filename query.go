@@ -139,10 +139,20 @@ type Cost struct {
 	// (1 for simple queries; Min+Max+Count+bisection steps for Quantile;
 	// one Rank per edge for Histogram).
 	Runs int
-	// Rounds, Messages and Drops accumulate over those runs.
+	// Rounds, Messages and Drops accumulate over those runs. In Async
+	// mode Rounds counts dispatched clock-tick events — the asynchronous
+	// model has no synchronous rounds — while Messages keeps the exact
+	// same unit as Sync (one per transmission attempt; a pairwise
+	// exchange bills 2), which is what makes the two modes' message
+	// bills directly comparable.
 	Rounds   int
 	Messages int64
 	Drops    int64
+	// Clock is the simulated wall-clock time the run(s) spanned: the
+	// async engine's event time at termination, in units of mean
+	// per-node clock periods (accumulated over runs). Always 0 in Sync
+	// mode, whose cost is measured in rounds.
+	Clock float64
 }
 
 // Add returns the element-wise total of two bills.
@@ -152,6 +162,7 @@ func (c Cost) Add(o Cost) Cost {
 		Rounds:   c.Rounds + o.Rounds,
 		Messages: c.Messages + o.Messages,
 		Drops:    c.Drops + o.Drops,
+		Clock:    c.Clock + o.Clock,
 	}
 }
 
@@ -247,14 +258,22 @@ type Answer struct {
 	FaultRevives int
 	// Mean, Variance and Std are filled by OpMoments.
 	Mean, Variance, Std float64
+	// Exchanges counts the committed pairwise exchanges of an Async-mode
+	// run (each billed 2 messages in Cost.Messages; failed handshakes
+	// bill their transmissions but commit nothing). Always 0 in Sync
+	// mode.
+	Exchanges int64
 	// Counts are the OpHistogram bucket counts (len(Edges)+1 buckets),
 	// measured over the population the protocol itself counted: the
 	// engine's surviving nodes in the static model, a dedicated Count run
 	// under a fault plan (consistent with the per-edge Rank counts even
 	// when membership changes mid-run, so buckets stay non-negative).
 	Counts []float64
-	// Converged is true when the answer met its tolerance; only
-	// OpQuantile can report false (bisection run cap reached first).
+	// Converged is true when the answer met its tolerance; OpQuantile
+	// reports false when the bisection hit its run cap first, and an
+	// Async-mode OpAverage reports false when the estimate spread did
+	// not reach Config.AsyncEps within the event cap (slow-mixing
+	// overlays, isolated nodes).
 	Converged bool
 }
 

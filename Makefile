@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt fmt-check doc-check bench bench-smoke bench-perf bench-guard bench-scale bench-scale-full bench-async ci
+.PHONY: all build test test-short race vet fmt fmt-check doc-check bench bench-smoke bench-perf bench-guard bench-scale bench-scale-full bench-async chaos chaos-full ci
 
 all: ci
 
@@ -75,5 +75,18 @@ bench-scale-full:
 # family at n=10^4 with machine-checked verdicts; writes BENCH_AS1.json.
 bench-async:
 	$(GO) run ./cmd/benchtab -experiment AS1 -json
+
+# Chaos smoke: replay both pinned corpora (seed corpus + regression
+# corpus) and a CI-sized batch of generated fault-plan cases through
+# the invariant battery; failures auto-shrink to one-line reproducers
+# (see docs/ROBUSTNESS.md). chaos-full is the acceptance campaign the
+# chaosfuzz defaults encode (regressions + 200 generated cases).
+chaos:
+	$(GO) run ./cmd/chaosfuzz -cases 40 \
+		-corpus internal/chaos/testdata/seed_corpus.txt,internal/chaos/testdata/regressions.txt
+
+chaos-full:
+	$(GO) run ./cmd/chaosfuzz -cases 200 \
+		-corpus internal/chaos/testdata/seed_corpus.txt,internal/chaos/testdata/regressions.txt
 
 ci: build vet fmt-check doc-check test

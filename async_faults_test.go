@@ -1,0 +1,170 @@
+package drrgossip
+
+import (
+	"math"
+	"testing"
+)
+
+// ft1AsyncScenarios mirrors the FT1 fault catalog (see
+// internal/experiments ft1Scenarios): baseline, churn at increasing
+// rates, correlated crashes, a rack failure, a healed partition, a loss
+// burst and a flaky region.
+func ft1AsyncScenarios() []string {
+	return []string{
+		"none",
+		"churn:0.1:50",
+		"churn:0.3:50",
+		"churn:0.6:50",
+		"crash:0.1@0.5",
+		"crash:0.3@0.5",
+		"rack:0.2@0.4..0.8",
+		"part:2@0.3..0.7",
+		"loss:0.3@0.3..0.7",
+		"flaky:0.2:0.5@0.2..0.8",
+	}
+}
+
+// lossOnly reports whether the scenario leaves membership untouched —
+// the scenarios whose failures drop messages but never nodes.
+func lossOnly(spec string) bool {
+	switch spec {
+	case "none", "part:2@0.3..0.7", "loss:0.3@0.3..0.7", "flaky:0.2:0.5@0.2..0.8":
+		return true
+	}
+	return false
+}
+
+// The async engine must survive the entire FT1 catalog the sync engine
+// is tested under: every scenario terminates within the event cap with
+// a finite value inside the input range, a finite non-negative residual
+// and a consistent bill. No hangs, no NaN, no escape from the hull.
+func TestAsyncTerminatesUnderFT1Scenarios(t *testing.T) {
+	const n = 128
+	values := uniformValues(n, 91)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	for _, spec := range ft1AsyncScenarios() {
+		t.Run(spec, func(t *testing.T) {
+			plan, err := ParseFaultPlan(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw, err := New(Config{N: n, Seed: 92, Mode: Async, Faults: plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ans, err := nw.Run(AverageOf(values))
+			if err != nil {
+				t.Fatalf("async run failed: %v", err)
+			}
+			if math.IsNaN(ans.Value) || math.IsInf(ans.Value, 0) {
+				t.Fatalf("value not finite: %v", ans.Value)
+			}
+			if ans.Value < lo-1e-6 || ans.Value > hi+1e-6 {
+				t.Fatalf("value %v escaped the input hull [%v, %v]", ans.Value, lo, hi)
+			}
+			if math.IsNaN(ans.Quality.Residual) || ans.Quality.Residual < 0 {
+				t.Fatalf("residual invalid: %v", ans.Quality.Residual)
+			}
+			if ans.Quality.Partial {
+				t.Fatalf("run wedged: %+v", ans.Quality)
+			}
+			if ans.Cost.Rounds <= 0 || ans.Alive <= 0 || ans.Alive > n {
+				t.Fatalf("bill inconsistent: rounds %d, alive %d", ans.Cost.Rounds, ans.Alive)
+			}
+		})
+	}
+}
+
+// Pairwise exchanges are sum-conserving and only commit when both
+// messages survive, so as long as membership is fixed the population
+// mean is invariant no matter how many transmissions the fault schedule
+// eats: the answer must equal the exact mean even when the run is far
+// from consensus.
+func TestAsyncMeanInvariantUnderLoss(t *testing.T) {
+	const n = 192
+	values := uniformValues(n, 93)
+	mean := 0.0
+	for _, v := range values {
+		mean += v
+	}
+	mean /= n
+	for _, spec := range ft1AsyncScenarios() {
+		if !lossOnly(spec) {
+			continue
+		}
+		t.Run(spec, func(t *testing.T) {
+			plan, err := ParseFaultPlan(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Baseline link loss on top of the scenario stresses the
+			// commit protocol harder.
+			nw, err := New(Config{N: n, Seed: 94, Mode: Async, Loss: 0.2, Faults: plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ans, err := nw.Run(AverageOf(values))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(ans.Value - mean); d > 1e-6*math.Abs(mean) {
+				t.Fatalf("mean not preserved: %v vs exact %v (diff %g)", ans.Value, mean, d)
+			}
+			if ans.Alive != n {
+				t.Fatalf("loss-only scenario changed membership: alive %d", ans.Alive)
+			}
+		})
+	}
+}
+
+// Both engines bind the same symbolic plan, so the fault transitions it
+// applies must agree wherever the plan is deterministic: for the
+// non-churn scenarios the crash counts, revive counts and final
+// populations of a sync run and an async run are equal. (Poisson churn
+// is excluded — its expansion depends on the engine's measured horizon.)
+func TestAsyncFaultTransitionParityWithSync(t *testing.T) {
+	const n = 128
+	values := uniformValues(n, 95)
+	for _, spec := range ft1AsyncScenarios() {
+		if spec == "none" || spec[:5] == "churn" {
+			continue
+		}
+		t.Run(spec, func(t *testing.T) {
+			plan, err := ParseFaultPlan(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Config{N: n, Seed: 96, Faults: plan}
+			sync, err := New(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sans, err := sync.Run(AverageOf(values))
+			if err != nil {
+				t.Fatal(err)
+			}
+			asyncCfg := base
+			asyncCfg.Mode = Async
+			anw, err := New(asyncCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aans, err := anw.Run(AverageOf(values))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sans.FaultCrashes != aans.FaultCrashes {
+				t.Errorf("crash parity broken: sync %d, async %d", sans.FaultCrashes, aans.FaultCrashes)
+			}
+			if sans.FaultRevives != aans.FaultRevives {
+				t.Errorf("revive parity broken: sync %d, async %d", sans.FaultRevives, aans.FaultRevives)
+			}
+			if sans.Alive != aans.Alive {
+				t.Errorf("population parity broken: sync alive %d, async alive %d", sans.Alive, aans.Alive)
+			}
+		})
+	}
+}

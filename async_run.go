@@ -30,13 +30,16 @@ func (nw *Network) runAsync(ctx context.Context, q Query) (*Answer, error) {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nw.abortedAnswer(OpAverage, nil, err)
 	}
 	if nw.cfg.Faults.Empty() {
 		return nw.execAsyncOnce(nil, q.Values)
 	}
 	b, err := nw.bindAsync(ctx, q.Values)
 	if err != nil {
+		if isAbort(err) {
+			return nw.abortedAnswer(OpAverage, nil, err)
+		}
 		return nil, err
 	}
 	return nw.execAsyncOnce(b, q.Values)
@@ -61,6 +64,12 @@ func (nw *Network) bindAsync(ctx context.Context, values []float64) (*faults.Bou
 		healthy, err := nw.execAsyncOnce(nil, values)
 		if err != nil {
 			return nil, fmt.Errorf("drrgossip: horizon measurement run: %w", err)
+		}
+		if healthy.Quality.Partial {
+			// A deadline/budget abort mid-pre-run leaves no trustworthy
+			// horizon; fail the binding rather than schedule events against
+			// a truncated clock.
+			return nil, fmt.Errorf("drrgossip: horizon measurement run aborted: %w", reasonErr(healthy.Quality.Reason))
 		}
 		nw.horizonRuns++
 		horizon = int(math.Ceil(healthy.Cost.Clock * async.TicksPerUnit))
@@ -105,6 +114,9 @@ func (nw *Network) execAsyncOnce(b *faults.Bound, values []float64) (*Answer, er
 			}
 		})
 	}
+	if nw.wd != nil {
+		eng.SetAbortCheck(nw.wd.check, abortStrideAsync)
+	}
 	if b != nil {
 		b.Attach(eng)
 	}
@@ -142,5 +154,16 @@ func (nw *Network) execAsyncOnce(b *faults.Bound, values []float64) (*Answer, er
 		ans.FaultRevives = b.Revived()
 	}
 	ans.PerNode, ans.SampleIDs = nw.materializePerNode(res.PerNode)
+	// A watchdog abort breaks the event loop gracefully; pairwise.Ave has
+	// already closed the books on the surviving estimates, so the answer
+	// above is the genuine partial state — just mark it as such.
+	cause := eng.Aborted()
+	if cause != nil {
+		ans.Converged = false
+	}
+	nw.fillQuality(ans, res.Spread, cause)
+	if terminalAbort(cause) {
+		return ans, cause
+	}
 	return ans, nil
 }

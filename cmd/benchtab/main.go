@@ -13,6 +13,7 @@
 //	go run ./cmd/benchtab -topology all            # overlay cost columns
 //	go run ./cmd/benchtab -topology chord,torus,regular:6
 //	go run ./cmd/benchtab -experiment FT1 -json    # machine-readable BENCH_FT1.json
+//	go run ./cmd/benchtab -chaos -quick            # chaos fuzzing campaign (CH1)
 //	go run ./cmd/benchtab -topology all -faults "crash:0.2@0.5"
 //	go run ./cmd/benchtab -experiment SC1 -http 127.0.0.1:8123   # live /metrics + pprof
 //
@@ -78,6 +79,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		expFlag  = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
+		chaosRun = flag.Bool("chaos", false, "run the chaos fuzzing campaign (alias for -experiment CH1; see docs/ROBUSTNESS.md)")
 		topoFlag = flag.String("topology", "", "run the overlay cost table over these comma-separated topology specs (or 'all') instead of the experiment registry")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		quick    = flag.Bool("quick", false, "smaller sweeps (CI-sized)")
@@ -92,6 +94,9 @@ func run() int {
 		httpAddr = flag.String("http", "", "serve live Prometheus /metrics, expvar and pprof on this address while experiments run (e.g. 127.0.0.1:8123)")
 	)
 	flag.Parse()
+	if *chaosRun {
+		*expFlag = "CH1"
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {

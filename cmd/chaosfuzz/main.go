@@ -1,0 +1,115 @@
+// Command chaosfuzz runs the chaos harness: property-based fuzzing of
+// (config, fault-plan) pairs against the full query battery on both
+// execution engines, with invariant checking and automatic shrinking of
+// failures to minimal reproducers (see docs/ROBUSTNESS.md).
+//
+// Usage:
+//
+//	chaosfuzz [-cases N] [-seed S] [-corpus file] [-update] [-v]
+//	chaosfuzz -case "n=64 topo=chord seed=11 loss=0.05 plan=crash:0.2@0.5"
+//
+// The default campaign replays the pinned regression corpus and then
+// checks -cases freshly generated cases. Exit status is 0 when every
+// case holds all invariants, 1 otherwise; each failure is printed with
+// its shrunk one-line reproducer, and -update appends the reproducers
+// to the corpus file so the regression is pinned.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"drrgossip/internal/chaos"
+)
+
+func main() {
+	var (
+		cases   = flag.Int("cases", 200, "generated cases to check (on top of the corpus)")
+		seed    = flag.Uint64("seed", 1, "campaign seed; equal seeds check identical case sequences")
+		corpus  = flag.String("corpus", "internal/chaos/testdata/regressions.txt", "comma-separated corpus files to replay (empty string skips)")
+		oneCase = flag.String("case", "", "check a single reproducer line instead of running a campaign")
+		update  = flag.Bool("update", false, "append shrunk reproducers of new failures to the corpus file")
+		verbose = flag.Bool("v", false, "print one line per checked case")
+	)
+	flag.Parse()
+	if err := run(*cases, *seed, *corpus, *oneCase, *update, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cases int, seed uint64, corpusPath, oneCase string, update, verbose bool) error {
+	if oneCase != "" {
+		c, err := chaos.ParseCase(oneCase)
+		if err != nil {
+			return err
+		}
+		vs := chaos.CheckCase(c)
+		if len(vs) == 0 {
+			fmt.Printf("ok: %s\n", c)
+			return nil
+		}
+		for _, v := range vs {
+			fmt.Printf("violation: %s\n", v)
+		}
+		return fmt.Errorf("%d violation(s)", len(vs))
+	}
+
+	opts := chaos.Options{Cases: cases, Seed: seed}
+	var updatePath string
+	for _, path := range strings.Split(corpusPath, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		lines, err := chaos.LoadCorpus(path)
+		if err != nil {
+			return err
+		}
+		opts.Corpus = append(opts.Corpus, lines...)
+		updatePath = path // -update pins into the last listed corpus
+	}
+	if verbose {
+		opts.Progress = os.Stdout
+	}
+	rep, err := chaos.Fuzz(opts)
+	if err != nil {
+		return err
+	}
+	report(os.Stdout, rep)
+	if rep.Clean() {
+		return nil
+	}
+	if update && updatePath != "" {
+		var lines []string
+		for _, f := range rep.Failures {
+			lines = append(lines, f.Reproducer)
+		}
+		if err := chaos.AppendCorpus(updatePath, lines); err != nil {
+			return fmt.Errorf("updating corpus: %v", err)
+		}
+		fmt.Printf("pinned %d reproducer(s) into %s\n", len(lines), updatePath)
+	}
+	return fmt.Errorf("%d of %d cases violated invariants", len(rep.Failures), rep.Checked)
+}
+
+func report(w io.Writer, rep *chaos.Report) {
+	fmt.Fprintf(w, "checked %d cases (%d healthy, %d membership-stable, %d churn): %d failure(s)\n",
+		rep.Checked, rep.ByTier[0], rep.ByTier[1], rep.ByTier[2], len(rep.Failures))
+	for i, f := range rep.Failures {
+		fmt.Fprintf(w, "\nfailure %d:\n  case: %s\n", i+1, f.Case)
+		for _, v := range f.Violations {
+			fmt.Fprintf(w, "  violation: %s\n", v)
+		}
+		fmt.Fprintf(w, "  shrunk reproducer (%d event(s)):\n    %s\n", reproEvents(f.Minimized), f.Reproducer)
+	}
+}
+
+func reproEvents(c chaos.Case) int {
+	if c.Plan == nil {
+		return 0
+	}
+	return len(c.Plan.Events)
+}

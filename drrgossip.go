@@ -80,6 +80,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"drrgossip/internal/async"
 	"drrgossip/internal/chord"
@@ -276,6 +277,46 @@ type Config struct {
 	// the spread (max − min) of the alive estimates is <= AsyncEps. 0
 	// picks 1e-6. Ignored in Sync mode.
 	AsyncEps float64
+	// Deadline bounds each query's wall-clock execution time. When a
+	// faulted run wedges past it, the engine watchdog aborts the run and
+	// the query returns a partial Answer — Quality.Partial true, Reason
+	// "deadline" — instead of hanging (see docs/ROBUSTNESS.md). 0
+	// disables the bound. Wall-clock aborts are inherently
+	// nondeterministic (where they land depends on machine speed); use
+	// RoundBudget for a deterministic cap.
+	Deadline time.Duration
+	// RoundBudget caps a single protocol run's length: synchronous
+	// rounds in Sync mode, dispatched clock-tick events in Async mode. A
+	// run that exceeds it is aborted (at watchdog-stride granularity)
+	// and the query returns a partial Answer with Quality.Reason
+	// "round-budget". Deterministic: equal configs abort at the same
+	// round. Composite queries apply the budget per run, not per query.
+	// 0 disables the cap.
+	RoundBudget int
+	// Retry opts non-converged (or round-budget-aborted) queries into
+	// epoch restarts: up to Attempts re-runs on a fresh protocol epoch —
+	// same session, same overlay, the seed advanced per attempt — keeping
+	// the first answer that completes converged. Nil disables retries.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy re-runs queries whose answers come back non-converged or
+// partial (see Answer.Quality): each attempt is an epoch restart — the
+// standing overlay is kept, the protocol epoch is re-seeded — so a
+// transiently wedged query gets fresh randomness (new crash sets, new
+// loss decisions under the same symbolic plan) instead of replaying the
+// same doomed schedule. Deadline- and cancellation-aborted answers are
+// not retried (their budget is already spent); round-budget aborts and
+// non-converged completions are. Answer.Quality.Retries reports how
+// many restarts an answer consumed, and its Cost accumulates over all
+// attempts.
+type RetryPolicy struct {
+	// Attempts is the maximum number of epoch-restart re-runs after the
+	// initial attempt (>= 1).
+	Attempts int
+	// SeedStride is the seed advance per attempt; 0 picks a large odd
+	// default so every epoch draws independent randomness.
+	SeedStride uint64
 }
 
 // AllNodes is the Config.SampleNodes sentinel requesting the full
@@ -341,6 +382,15 @@ func (c Config) validate() error {
 	}
 	if c.SampleNodes < AllNodes {
 		return fmt.Errorf("%w: SampleNodes must be >= 0 or AllNodes, got %d", ErrBadConfig, c.SampleNodes)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("%w: Deadline must be >= 0, got %v", ErrBadConfig, c.Deadline)
+	}
+	if c.RoundBudget < 0 {
+		return fmt.Errorf("%w: RoundBudget must be >= 0, got %d", ErrBadConfig, c.RoundBudget)
+	}
+	if c.Retry != nil && c.Retry.Attempts < 1 {
+		return fmt.Errorf("%w: RetryPolicy.Attempts must be >= 1, got %d", ErrBadConfig, c.Retry.Attempts)
 	}
 	switch c.Mode {
 	case Sync:

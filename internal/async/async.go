@@ -127,6 +127,13 @@ type Engine struct {
 	phaseObs  func(phase string)
 	phase     string
 	residual  float64
+
+	// abortCheck is the run watchdog (SetAbortCheck): consulted every
+	// abortEvery dispatched events in Run; a non-nil error stops the
+	// loop and is recorded in aborted.
+	abortCheck func(events int) error
+	abortEvery int
+	aborted    error
 }
 
 // NewEngine builds an engine for n nodes: derives the per-node clock and
@@ -255,6 +262,26 @@ func (e *Engine) SetRoundHook(h func(tick int)) { e.tickHook = h }
 // dispatched event (alive or not), with the running event count.
 func (e *Engine) SetEventObserver(f func(events int)) { e.observer = f }
 
+// SetAbortCheck installs (or, with nil, removes) a run watchdog: the
+// Run loop consults f every `every` dispatched events (every < 1 means
+// every event) with the running event count, and a non-nil error stops
+// the loop gracefully — the engine records it (see Aborted) and Run
+// returns, so drivers close their books on the partial state instead of
+// unwinding. Like the synchronous counterpart (sim.Engine.SetAbortCheck)
+// it is control-plane only: a run the check never aborts is
+// bit-identical to one without a check installed.
+func (e *Engine) SetAbortCheck(f func(events int) error, every int) {
+	if every < 1 {
+		every = 1
+	}
+	e.abortCheck = f
+	e.abortEvery = every
+}
+
+// Aborted returns the error the abort check stopped the last Run with,
+// or nil when no abort occurred.
+func (e *Engine) Aborted() error { return e.aborted }
+
 // SetMembershipObserver installs a read-only tap on Crash/Revive
 // transitions (the telemetry fault events).
 func (e *Engine) SetMembershipObserver(f func(node int, alive bool)) { e.memberObs = f }
@@ -313,8 +340,9 @@ func (e *Engine) Step() (node int, alive, ok bool) {
 // invoking handler for each tick of an alive node, then the event
 // observer (after the handler, so observers see the post-action state),
 // then stop. It returns the number of events dispatched in this call.
-// The loop ends when stop reports true, maxEvents is reached, or no
-// events are scheduled.
+// The loop ends when stop reports true, maxEvents is reached, no events
+// are scheduled, or the installed abort check rejects the run (Aborted
+// then reports why).
 func (e *Engine) Run(handler func(node int), stop func() bool, maxEvents int) int {
 	events := 0
 	for events < maxEvents {
@@ -328,6 +356,12 @@ func (e *Engine) Run(handler func(node int), stop func() bool, maxEvents int) in
 		}
 		if e.observer != nil {
 			e.observer(e.c.Rounds)
+		}
+		if e.abortCheck != nil && e.c.Rounds%e.abortEvery == 0 {
+			if err := e.abortCheck(e.c.Rounds); err != nil {
+				e.aborted = err
+				break
+			}
 		}
 		if stop() {
 			break

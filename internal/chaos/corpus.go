@@ -1,0 +1,85 @@
+// Corpus files: one reproducer line per case, '#' comments and blank
+// lines ignored. The checked-in regression corpus
+// (testdata/regressions.txt) pins every reproducer the fuzzer has ever
+// shrunk, so a fixed bug stays fixed.
+
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ParseCorpus extracts the reproducer lines from corpus-file text,
+// dropping blank lines and '#' comments. Every surviving line must
+// parse as a Case.
+func ParseCorpus(text string) ([]string, error) {
+	var lines []string
+	for i, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, err := ParseCase(line); err != nil {
+			return nil, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		lines = append(lines, line)
+	}
+	return lines, nil
+}
+
+// LoadCorpus reads a corpus file. A missing file is an empty corpus,
+// not an error — new checkouts start with no regressions.
+func LoadCorpus(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	lines, err := ParseCorpus(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return lines, nil
+}
+
+// AppendCorpus appends reproducer lines to a corpus file, creating it
+// (with a header) if absent and skipping lines already present.
+func AppendCorpus(path string, lines []string) error {
+	existing, err := LoadCorpus(path)
+	if err != nil {
+		return err
+	}
+	have := make(map[string]bool, len(existing))
+	for _, l := range existing {
+		have[l] = true
+	}
+	var add []string
+	for _, l := range lines {
+		if !have[l] {
+			add = append(add, l)
+			have[l] = true
+		}
+	}
+	if len(add) == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err == nil && fi.Size() == 0 {
+		fmt.Fprintln(f, "# chaos regression corpus: minimal reproducers of past invariant")
+		fmt.Fprintln(f, "# violations, one Case per line. Replayed by `make chaos` and CI.")
+	}
+	for _, l := range add {
+		if _, err := fmt.Fprintln(f, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Case generation: the fuzzer's sampling of the (config, plan) space.
+// Generation is a pure function of (seed, index) — the same pair always
+// yields the same case, so a whole fuzzing campaign is reproducible
+// from its master seed alone.
+
+package chaos
+
+import (
+	"drrgossip"
+	"drrgossip/internal/faults"
+	"drrgossip/internal/xrand"
+)
+
+// genSizes is the network-size palette. Small sizes dominate (they run
+// the battery fastest, so the fuzzer covers more plans per second);
+// larger sizes appear often enough to catch scale-dependent breakage.
+var genSizes = []int{16, 24, 32, 48, 64, 96, 128, 192, 256}
+
+// genTopologies is the topology palette. Complete appears twice: it is
+// the paper's main model and the only one the dense pipelines run on.
+var genTopologies = []drrgossip.Topology{
+	drrgossip.Complete, drrgossip.Complete, drrgossip.Chord, drrgossip.Torus,
+}
+
+// Generate derives fuzz case idx of the campaign keyed by seed. Roughly
+// one case in eight is a healthy control (no plan, no loss) so the
+// exact-answer invariants keep running inside every campaign.
+func Generate(seed uint64, idx int) Case {
+	rng := xrand.Derive(seed, 0xC4A05, uint64(idx))
+	c := Case{
+		N:        genSizes[rng.Intn(len(genSizes))],
+		Topology: genTopologies[rng.Intn(len(genTopologies))],
+		Seed:     rng.Uint64(),
+	}
+	if rng.Bool(0.125) {
+		return c // healthy control
+	}
+	if rng.Bool(0.5) {
+		c.Loss = []float64{0.02, 0.05, 0.1, 0.2}[rng.Intn(4)]
+	}
+	nEvents := 1 + rng.Intn(3)
+	plans := make([]*faults.Plan, 0, nEvents)
+	for i := 0; i < nEvents; i++ {
+		plans = append(plans, genPlan(rng))
+	}
+	c.Plan = faults.Merge(plans...)
+	return c
+}
+
+// genTiming draws an event start time: usually a horizon fraction (the
+// placement that exercises the pre-run machinery), sometimes an
+// absolute round in the early protocol.
+func genTiming(rng *xrand.Stream) faults.Timing {
+	if rng.Bool(0.6) {
+		return faults.AtFrac(0.05 + 0.9*rng.Float64())
+	}
+	return faults.At(1 + rng.Intn(40))
+}
+
+// genWindow draws an event window [at, end) with end after at (or zero:
+// open-ended) in the same time base, as the grammar requires.
+func genWindow(rng *xrand.Stream) (at, end faults.Timing) {
+	at = genTiming(rng)
+	if rng.Bool(0.4) {
+		return at, faults.Timing{}
+	}
+	if at.Round > 0 {
+		return at, faults.At(at.Round + 1 + rng.Intn(30))
+	}
+	return at, faults.AtFrac(at.Frac + (1-at.Frac)*rng.Float64())
+}
+
+// genPlan draws one single-event plan from the generator catalog with
+// randomized parameters. Parameter ranges are bounded away from the
+// degenerate extremes (whole-population crashes, loss 1.0 forever) that
+// no invariant can say anything useful about.
+func genPlan(rng *xrand.Stream) *faults.Plan {
+	at, end := genWindow(rng)
+	switch rng.Intn(6) {
+	case 0:
+		return faults.CrashFraction(0.05+0.35*rng.Float64(), at, end)
+	case 1:
+		return faults.RackFailure(0.05+0.25*rng.Float64(), at, end)
+	case 2:
+		return faults.FlakyRegion(0.1+0.4*rng.Float64(), 0.1+0.85*rng.Float64(), at, end)
+	case 3:
+		return faults.PartitionNetwork(2+rng.Intn(3), at, end)
+	case 4:
+		return faults.LossSpike(0.05+0.7*rng.Float64(), at, end)
+	default:
+		down := 0
+		if rng.Bool(0.5) {
+			down = 1 + rng.Intn(20)
+		}
+		return faults.PoissonChurn(0.02+0.25*rng.Float64(), down)
+	}
+}

@@ -1,0 +1,70 @@
+// Delta-debugging of failing cases: remove plan events one at a time,
+// then simplify the survivors (faults.Event.Simplifications), keeping
+// every change that still reproduces a violation — classic ddmin over
+// the plan's event list. Each candidate is re-verified from scratch
+// (node sets are selected by event index, so surgery can shift them),
+// which makes the loop expensive; the eval budget bounds it.
+
+package chaos
+
+// DefaultShrinkBudget caps the invariant-battery evaluations one shrink
+// may spend. Plans are at most a handful of events, so the fixpoint is
+// normally reached in well under this many candidates.
+const DefaultShrinkBudget = 150
+
+// Shrink minimises a failing case under the given failure predicate,
+// spending at most budget predicate evaluations (budget <= 0 uses
+// DefaultShrinkBudget). The returned case still fails the predicate;
+// when the budget runs dry mid-descent, the smallest failing case found
+// so far is returned.
+func Shrink(c Case, fails func(Case) bool, budget int) Case {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	evals := 0
+	try := func(cand Case) bool {
+		if evals >= budget {
+			return false
+		}
+		evals++
+		return fails(cand)
+	}
+	cur := c
+	// Baseline loss first: a reproducer that fails without it is simpler.
+	if cur.Loss != 0 {
+		cand := cur
+		cand.Loss = 0
+		if try(cand) {
+			cur = cand
+		}
+	}
+	for changed := true; changed && evals < budget; {
+		changed = false
+		// Pass 1: drop whole events.
+		for i := 0; cur.Plan != nil && i < len(cur.Plan.Events); i++ {
+			cand := cur
+			cand.Plan = cur.Plan.Without(i)
+			if cand.Plan.Empty() {
+				cand.Plan = nil
+			}
+			if try(cand) {
+				cur = cand
+				changed = true
+				i-- // the list shifted; retry this index
+			}
+		}
+		// Pass 2: simplify the events that must stay.
+		for i := 0; cur.Plan != nil && i < len(cur.Plan.Events); i++ {
+			for _, ev := range cur.Plan.Events[i].Simplifications() {
+				cand := cur
+				cand.Plan = cur.Plan.WithEvent(i, ev)
+				if try(cand) {
+					cur = cand
+					changed = true
+					break // re-derive simplifications of the new event next round
+				}
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"drrgossip/internal/chaos"
+	"drrgossip/internal/tablefmt"
+)
+
+// RunCH1 runs the chaos harness as an evaluation artifact: a
+// fixed-seed fuzzing campaign of generated (config, fault-plan) cases,
+// each checked against the full invariant library on both execution
+// engines (see internal/chaos and docs/ROBUSTNESS.md). The verdict is
+// the robustness claim of the subsystem itself: zero invariant
+// violations across the campaign, with any failure auto-shrunk to a
+// one-line reproducer surfaced in the report.
+func RunCH1(cfg Config) (*Report, error) {
+	cases := 200
+	if cfg.Quick {
+		cases = 30
+	}
+	if cfg.Trials > 0 {
+		cases = cfg.Trials
+	}
+
+	fuzzRep, err := chaos.Fuzz(chaos.Options{
+		Cases:    cases,
+		Seed:     cfg.Seed + 0xC4,
+		Progress: cfg.Progress,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("CH1: %w", err)
+	}
+
+	tb := tablefmt.New(fmt.Sprintf("CH1: chaos fuzzing campaign (%d cases, seed %d)", fuzzRep.Checked, cfg.Seed+0xC4),
+		"tier", "cases", "failures")
+	failByTier := [3]int{}
+	for _, f := range fuzzRep.Failures {
+		failByTier[f.Case.Tier()]++
+	}
+	for t, name := range chaos.TierNames {
+		tb.AddRow(name, fuzzRep.ByTier[t], failByTier[t])
+	}
+	tb.AddRow("total", fuzzRep.Checked, len(fuzzRep.Failures))
+
+	rep := &Report{ID: "CH1", Title: "Chaos harness: invariant fuzzing over fault plans"}
+	rep.Tables = append(rep.Tables, tb.String())
+
+	if !fuzzRep.Clean() {
+		ft := tablefmt.New("CH1: shrunk reproducers", "#", "reproducer", "first violation")
+		for i, f := range fuzzRep.Failures {
+			first := ""
+			if len(f.Violations) > 0 {
+				first = f.Violations[0].String()
+			}
+			ft.AddRow(i+1, f.Reproducer, first)
+		}
+		rep.Tables = append(rep.Tables, ft.String())
+	}
+
+	rep.Verdicts = append(rep.Verdicts,
+		verdictf("all invariants hold", fuzzRep.Clean(),
+			"%d violations in %d cases", len(fuzzRep.Failures), fuzzRep.Checked),
+		verdictf("campaign covers every tier", fuzzRep.ByTier[0] > 0 && fuzzRep.ByTier[1] > 0 && fuzzRep.ByTier[2] > 0,
+			"healthy %d, membership-stable %d, churn %d",
+			fuzzRep.ByTier[0], fuzzRep.ByTier[1], fuzzRep.ByTier[2]),
+	)
+	return rep, nil
+}

@@ -176,6 +176,7 @@ func Registry() []Experiment {
 		{"QB1", "Session amortization: batched queries reuse overlay and fault horizon", RunQB1},
 		{"SC1", "Scaling study: rounds, messages and memory from 10^3 to 10^7 nodes", RunSC1},
 		{"AS1", "Async baseline: DRR vs pairwise averaging (uniform, GGE, sample-greedy)", RunAS1},
+		{"CH1", "Chaos harness: invariant fuzzing over fault plans", RunCH1},
 		{"A1", "Ablation: DRR probe budget", RunA1},
 		{"A2", "Ablation: message-loss sweep", RunA2},
 		{"A3", "Ablation: clusterhead heuristic bootstrap cost", RunA3},

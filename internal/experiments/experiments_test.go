@@ -33,7 +33,7 @@ func runAndCheck(t *testing.T, id string) *Report {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "OV1", "FT1", "QB1", "SC1", "AS1", "A1", "A2", "A3"}
+	want := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "OV1", "FT1", "QB1", "SC1", "AS1", "CH1", "A1", "A2", "A3"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))

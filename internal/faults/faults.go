@@ -175,7 +175,10 @@ func (p *Plan) NeedsHorizon() bool {
 	return false
 }
 
-// String renders the plan's spec form.
+// String renders the plan's spec form: the verbatim text it was parsed
+// from when one is recorded, otherwise the canonical rendering of its
+// events in the Parse grammar (see Canonical). Either way the result
+// re-parses to the same events.
 func (p *Plan) String() string {
 	if p.Empty() {
 		return "none"
@@ -183,11 +186,7 @@ func (p *Plan) String() string {
 	if p.Spec != "" {
 		return p.Spec
 	}
-	parts := make([]string, len(p.Events))
-	for i, ev := range p.Events {
-		parts[i] = ev.Kind.String()
-	}
-	return strings.Join(parts, ";")
+	return p.Canonical()
 }
 
 // Merge concatenates plans into one.
@@ -328,8 +327,8 @@ func FromCrashFrac(n int, opts sim.Options) *Plan {
 	if len(ids) == 0 {
 		return &Plan{}
 	}
-	return &Plan{
-		Events: []Event{{Kind: Crash, Nodes: ids}},
-		Spec:   fmt.Sprintf("crashfrac:%g", opts.CrashFrac),
-	}
+	// No recorded Spec: the canonical rendering ("crash:#…@0r") is the
+	// plan's string form, so it re-parses — the old "crashfrac:%g" label
+	// was display-only and broke Parse round-tripping.
+	return &Plan{Events: []Event{{Kind: Crash, Nodes: ids}}}
 }

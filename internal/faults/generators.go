@@ -1,75 +1,49 @@
 // Generators for common fault scenarios. Each returns a Plan; combine
-// with Merge. All randomness is deferred to Bind, so generators are pure.
+// with Merge. All randomness is deferred to Bind, so generators are
+// pure. No generator records a Spec: the plan's string form is the
+// canonical rendering of its events (stringify.go), which round-trips
+// through Parse bit-identically — the handwritten spec labels this file
+// used to synthesise could drift from the grammar (a whole-population
+// "crash:1" read back as a one-node count).
 
 package faults
-
-import "fmt"
 
 // PoissonChurn returns a churn plan: over the whole run, an expected
 // rate·n crash events arrive as a Poisson process (uniform in time),
 // each killing a uniformly random node; with down > 0 every churned
 // node rejoins down rounds later. Requires a horizon at Bind.
 func PoissonChurn(rate float64, down int) *Plan {
-	spec := fmt.Sprintf("churn:%g", rate)
-	if down > 0 {
-		spec = fmt.Sprintf("churn:%g:%d", rate, down)
-	}
-	return &Plan{
-		Events: []Event{{Kind: ChurnKind, Rate: rate, Down: down}},
-		Spec:   spec,
-	}
+	return &Plan{Events: []Event{{Kind: ChurnKind, Rate: rate, Down: down}}}
 }
 
 // CrashFraction returns a plan that crashes a hashed ⌈frac·n⌉-node
 // subset at the given time (correlated mass failure, e.g. a datacenter
 // outage). A zero end leaves them down for the rest of the run.
 func CrashFraction(frac float64, at, end Timing) *Plan {
-	return &Plan{
-		Events: []Event{{Kind: Crash, Frac: frac, At: at, End: end}},
-		Spec:   fmt.Sprintf("crash:%g@%s%s", frac, at, window(end)),
-	}
+	return &Plan{Events: []Event{{Kind: Crash, Frac: frac, At: at, End: end}}}
 }
 
 // RackFailure returns a correlated-failure plan: a contiguous block of
 // ⌈frac·n⌉ node ids (one "rack" under adjacent placement) crashes at
 // `at` and — if end is nonzero — rejoins at `end`.
 func RackFailure(frac float64, at, end Timing) *Plan {
-	return &Plan{
-		Events: []Event{{Kind: Crash, Frac: frac, Contiguous: true, At: at, End: end}},
-		Spec:   fmt.Sprintf("rack:%g@%s%s", frac, at, window(end)),
-	}
+	return &Plan{Events: []Event{{Kind: Crash, Frac: frac, Contiguous: true, At: at, End: end}}}
 }
 
 // FlakyRegion returns a plan where every link touching a hashed
 // ⌈frac·n⌉-node region suffers extra loss during [at, end).
 func FlakyRegion(frac, loss float64, at, end Timing) *Plan {
-	return &Plan{
-		Events: []Event{{Kind: Flaky, Frac: frac, Loss: loss, At: at, End: end}},
-		Spec:   fmt.Sprintf("flaky:%g:%g@%s%s", frac, loss, at, window(end)),
-	}
+	return &Plan{Events: []Event{{Kind: Flaky, Frac: frac, Loss: loss, At: at, End: end}}}
 }
 
 // PartitionNetwork returns a plan splitting the network into `groups`
 // isolated random sets during [at, end).
 func PartitionNetwork(groups int, at, end Timing) *Plan {
-	return &Plan{
-		Events: []Event{{Kind: Partition, Groups: groups, At: at, End: end}},
-		Spec:   fmt.Sprintf("part:%d@%s%s", groups, at, window(end)),
-	}
+	return &Plan{Events: []Event{{Kind: Partition, Groups: groups, At: at, End: end}}}
 }
 
 // LossSpike returns a plan adding extra drop probability `loss` to every
 // link during [at, end) — a δ(t) burst.
 func LossSpike(loss float64, at, end Timing) *Plan {
-	return &Plan{
-		Events: []Event{{Kind: LossBurst, Loss: loss, At: at, End: end}},
-		Spec:   fmt.Sprintf("loss:%g@%s%s", loss, at, window(end)),
-	}
-}
-
-func window(end Timing) string {
-	if end.isZero() {
-		return ""
-	}
-	return ".." + end.String()
+	return &Plan{Events: []Event{{Kind: LossBurst, Loss: loss, At: at, End: end}}}
 }

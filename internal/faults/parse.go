@@ -5,13 +5,14 @@
 //	time  := absolute round ("120" or "120r") |
 //	         fraction of the run horizon ("0.5"; must contain a '.')
 //
-// Kinds and their arguments:
+// Kinds and their arguments (F is a node amount: a fraction when it
+// carries a '.' or exponent marker — "0.2", "1.0" — an absolute count
+// when it is a bare integer, or an explicit id list "#3,7,9"):
 //
-//	crash:F[@T[..T2]]   crash F nodes (fraction if F < 1, count if >= 1)
-//	                    at T; with ..T2 they rejoin at T2
+//	crash:F[@T[..T2]]   crash F nodes at T; with ..T2 they rejoin at T2
 //	rack:F[@T[..T2]]    same, but a contiguous id block (correlated rack)
-//	rejoin[:F][@T]      revive dead nodes at T: F < 1 revives that
-//	                    fraction of the currently dead, F >= 1 that many
+//	rejoin[:F][@T]      revive dead nodes at T: a fraction F revives that
+//	                    share of the currently dead, a count F that many
 //	                    of them; omitted F revives every dead node
 //	churn:R[:D]         Poisson churn: expected R·n crashes over the whole
 //	                    run; each node rejoins after D rounds (D absent =
@@ -78,7 +79,7 @@ func parseEvent(text string) (Event, error) {
 		if len(args) != 1 {
 			return ev, fmt.Errorf("want %s:F", kind)
 		}
-		if ev.Frac, ev.Count, err = parseAmount(args[0]); err != nil {
+		if ev.Nodes, ev.Frac, ev.Count, err = parseNodeSet(args[0]); err != nil {
 			return ev, err
 		}
 	case "rejoin":
@@ -87,7 +88,7 @@ func parseEvent(text string) (Event, error) {
 		switch len(args) {
 		case 0: // revive everyone dead
 		case 1:
-			if ev.Frac, ev.Count, err = parseAmount(args[0]); err != nil {
+			if ev.Nodes, ev.Frac, ev.Count, err = parseNodeSet(args[0]); err != nil {
 				return ev, err
 			}
 		default:
@@ -133,7 +134,7 @@ func parseEvent(text string) (Event, error) {
 		if len(args) != 2 {
 			return ev, fmt.Errorf("want flaky:F:D")
 		}
-		if ev.Frac, ev.Count, err = parseAmount(args[0]); err != nil {
+		if ev.Nodes, ev.Frac, ev.Count, err = parseNodeSet(args[0]); err != nil {
 			return ev, err
 		}
 		if ev.Loss, err = strconv.ParseFloat(args[1], 64); err != nil {
@@ -176,18 +177,42 @@ func parseEvent(text string) (Event, error) {
 	return ev, nil
 }
 
-// parseAmount reads a node amount: a fraction (< 1, must contain '.')
-// or an absolute count.
+// parseNodeSet reads a node set argument: an explicit "#"-prefixed
+// comma-separated id list, or an amount (see parseAmount).
+func parseNodeSet(text string) (nodes []int, frac float64, count int, err error) {
+	if !strings.HasPrefix(text, "#") {
+		frac, count, err = parseAmount(text)
+		return nil, frac, count, err
+	}
+	for _, field := range strings.Split(text[1:], ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || id < 0 {
+			return nil, 0, 0, fmt.Errorf("bad node id %q in %q", field, text)
+		}
+		nodes = append(nodes, id)
+	}
+	if len(nodes) == 0 {
+		return nil, 0, 0, fmt.Errorf("empty node list %q", text)
+	}
+	return nodes, 0, 0, nil
+}
+
+// parseAmount reads a node amount: a fraction in [0,1] when the text
+// carries a '.' or exponent marker (so "1.0" is the whole population,
+// not a count of one), otherwise an absolute integer count.
 func parseAmount(text string) (frac float64, count int, err error) {
 	v, err := strconv.ParseFloat(text, 64)
 	if err != nil || v < 0 {
 		return 0, 0, fmt.Errorf("bad node amount %q", text)
 	}
-	if v < 1 {
+	if strings.ContainsAny(text, ".eE") {
+		if v > 1 {
+			return 0, 0, fmt.Errorf("fractional node amount %q must be <= 1", text)
+		}
 		return v, 0, nil
 	}
 	if v != math.Trunc(v) {
-		return 0, 0, fmt.Errorf("node amount %q must be a fraction < 1 or an integer count", text)
+		return 0, 0, fmt.Errorf("node amount %q must be a fraction <= 1 or an integer count", text)
 	}
 	return 0, int(v), nil
 }

@@ -1,0 +1,77 @@
+// Shrink hooks: the plan surgery the chaos harness (internal/chaos)
+// performs while delta-debugging a failing (config, plan) pair down to a
+// minimal reproducer. All operations return fresh plans with no recorded
+// Spec, so their String form is the canonical re-parseable rendering of
+// the surviving events.
+
+package faults
+
+import "math"
+
+// Without returns a copy of the plan with event i removed. Note that
+// fractional/counted node sets are selected by (seed, event index), so
+// removing an event may shift the materialised sets of later events —
+// callers re-verify each shrink candidate rather than assuming the
+// remaining events replay identically.
+func (p *Plan) Without(i int) *Plan {
+	evs := make([]Event, 0, len(p.Events)-1)
+	evs = append(evs, p.Events[:i]...)
+	evs = append(evs, p.Events[i+1:]...)
+	return &Plan{Events: evs}
+}
+
+// WithEvent returns a copy of the plan with event i replaced by ev.
+func (p *Plan) WithEvent(i int, ev Event) *Plan {
+	evs := append([]Event(nil), p.Events...)
+	evs[i] = ev
+	return &Plan{Events: evs}
+}
+
+// Simplifications returns strictly simpler one-step variants of the
+// event — drop the window end, halve the affected node amount, reduce a
+// partition to two groups, tame a churn process — ordered roughly most
+// aggressive first. Each variant stays valid for any n the original was
+// valid for; the shrinker substitutes them via WithEvent and keeps the
+// ones that still reproduce a violation.
+func (ev Event) Simplifications() []Event {
+	var out []Event
+	add := func(mutate func(*Event)) {
+		e2 := ev
+		e2.Nodes = append([]int(nil), ev.Nodes...)
+		mutate(&e2)
+		out = append(out, e2)
+	}
+	if !ev.End.isZero() {
+		add(func(e *Event) { e.End = Timing{} })
+	}
+	if len(ev.Nodes) > 1 {
+		add(func(e *Event) { e.Nodes = e.Nodes[:(len(e.Nodes)+1)/2] })
+	}
+	if ev.Count > 1 {
+		add(func(e *Event) { e.Count /= 2 })
+	}
+	if len(ev.Nodes) == 0 && ev.Count == 0 && ev.Frac > 0.05 {
+		add(func(e *Event) { e.Frac = shrinkFrac(e.Frac) })
+	}
+	if ev.Kind == Partition && ev.Groups > 2 {
+		add(func(e *Event) { e.Groups = 2 })
+	}
+	if ev.Kind == ChurnKind {
+		if ev.Down > 0 {
+			add(func(e *Event) { e.Down = 0 })
+		}
+		if ev.Rate > 0.05 {
+			add(func(e *Event) { e.Rate = shrinkFrac(e.Rate) })
+		}
+	}
+	if (ev.Kind == LossBurst || ev.Kind == Flaky) && ev.Loss > 0.05 {
+		add(func(e *Event) { e.Loss = shrinkFrac(e.Loss) })
+	}
+	return out
+}
+
+// shrinkFrac halves a fraction, quantised to 4 decimals so shrunk specs
+// stay short and round-trip cleanly.
+func shrinkFrac(f float64) float64 {
+	return math.Round(f/2*1e4) / 1e4
+}

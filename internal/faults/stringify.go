@@ -1,0 +1,115 @@
+// Canonical stringification: every Event renders in the exact textual
+// grammar of parse.go, so a plan built programmatically — by a
+// generator, the chaos fuzzer, or the shrinker (shrink.go) — round-trips
+// through Parse bit-identically (pinned by the property tests in
+// stringify_test.go). Plans that were parsed from a spec keep their
+// verbatim text in Plan.String, so display output never reformats what
+// the user typed; Plan.Canonical always re-renders from the events.
+
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders the event in the Parse grammar. The rendering is
+// canonical: Parse(ev.String()) reproduces the event field for field,
+// with one documented priority when several amount fields are set —
+// Nodes over Count over Frac, mirroring nodeCount — since the grammar
+// encodes exactly one amount per event.
+func (ev Event) String() string {
+	var b strings.Builder
+	switch ev.Kind {
+	case Crash:
+		if ev.Contiguous {
+			b.WriteString("rack:")
+		} else {
+			b.WriteString("crash:")
+		}
+		b.WriteString(ev.amountString())
+		ev.writeWindow(&b)
+	case Rejoin:
+		b.WriteString("rejoin")
+		if s := ev.amountString(); s != "" {
+			b.WriteByte(':')
+			b.WriteString(s)
+		}
+		ev.writeWindow(&b)
+	case LossBurst:
+		fmt.Fprintf(&b, "loss:%g", ev.Loss)
+		ev.writeWindow(&b)
+	case Partition:
+		fmt.Fprintf(&b, "part:%d", ev.Groups)
+		ev.writeWindow(&b)
+	case LinkDown:
+		fmt.Fprintf(&b, "link:%d-%d", ev.A, ev.B)
+		ev.writeWindow(&b)
+	case Flaky:
+		fmt.Fprintf(&b, "flaky:%s:%g", ev.amountString(), ev.Loss)
+		ev.writeWindow(&b)
+	case ChurnKind:
+		fmt.Fprintf(&b, "churn:%g", ev.Rate)
+		if ev.Down > 0 {
+			fmt.Fprintf(&b, ":%d", ev.Down)
+		}
+		// Churn spans the whole run; the grammar forbids an @-window.
+	default:
+		b.WriteString(ev.Kind.String())
+	}
+	return b.String()
+}
+
+// amountString renders the event's node amount: an explicit "#"-list,
+// an integer count, or a fraction (with a '.' marker so it re-parses as
+// a fraction even when it is 1.0). Empty when no amount is set (the
+// rejoin-everyone form).
+func (ev Event) amountString() string {
+	switch {
+	case len(ev.Nodes) > 0:
+		parts := make([]string, len(ev.Nodes))
+		for i, id := range ev.Nodes {
+			parts[i] = strconv.Itoa(id)
+		}
+		return "#" + strings.Join(parts, ",")
+	case ev.Count > 0:
+		return strconv.Itoa(ev.Count)
+	case ev.Frac > 0:
+		s := fmt.Sprintf("%g", ev.Frac)
+		if !strings.ContainsAny(s, ".e") {
+			s += ".0" // keep the fraction marker (Frac == 1)
+		}
+		return s
+	default:
+		return ""
+	}
+}
+
+// writeWindow appends the event's "@at[..end]" time window. The start is
+// always written — "@0r" round-trips the zero Timing exactly — and the
+// end only when one is set (a zero End means "until the run ends" and
+// the grammar expresses that by omission).
+func (ev Event) writeWindow(b *strings.Builder) {
+	b.WriteByte('@')
+	b.WriteString(ev.At.String())
+	if !ev.End.isZero() {
+		b.WriteString("..")
+		b.WriteString(ev.End.String())
+	}
+}
+
+// Canonical renders the plan's events in the exact Parse grammar,
+// ignoring any recorded Spec: Parse(p.Canonical()) reproduces p.Events
+// field for field. Shrunk or mutated plans use it to emit
+// copy-pasteable reproducer specs; "none" is the empty plan.
+func (p *Plan) Canonical() string {
+	if p.Empty() {
+		return "none"
+	}
+	parts := make([]string, len(p.Events))
+	for i, ev := range p.Events {
+		parts[i] = ev.String()
+	}
+	return strings.Join(parts, ";")
+}

@@ -1,0 +1,215 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"drrgossip/internal/sim"
+	"drrgossip/internal/xrand"
+)
+
+// randomTiming draws an absolute-round or horizon-fraction timing.
+// start distinguishes window starts (where the zero timing is legal)
+// from ends (where the grammar expresses "never" by omission).
+func randomTiming(rng *xrand.Stream, start bool) Timing {
+	switch rng.Intn(4) {
+	case 0:
+		if start {
+			return Timing{} // round 0: renders as "@0r"
+		}
+		return At(1 + rng.Intn(2000))
+	case 1:
+		return At(1 + rng.Intn(2000))
+	default:
+		// Two-decimal fractions, the common hand-written form, plus the
+		// boundary value 1.0 which needs the fraction marker.
+		f := float64(1+rng.Intn(100)) / 100
+		return AtFrac(f)
+	}
+}
+
+// randomNodeAmount fills exactly one of Nodes/Count/Frac.
+func randomNodeAmount(rng *xrand.Stream, ev *Event, n int) {
+	switch rng.Intn(3) {
+	case 0:
+		k := 1 + rng.Intn(4)
+		seen := map[int]bool{}
+		for len(ev.Nodes) < k {
+			id := rng.Intn(n)
+			if !seen[id] {
+				seen[id] = true
+				ev.Nodes = append(ev.Nodes, id)
+			}
+		}
+	case 1:
+		ev.Count = 1 + rng.Intn(n/2)
+	default:
+		ev.Frac = float64(1+rng.Intn(100)) / 100
+	}
+}
+
+// randomEvent draws one grammar-space event, valid for n nodes.
+func randomEvent(rng *xrand.Stream, n int) Event {
+	var ev Event
+	kinds := []Kind{Crash, Rejoin, LossBurst, Partition, LinkDown, Flaky, ChurnKind}
+	ev.Kind = kinds[rng.Intn(len(kinds))]
+	if ev.Kind != ChurnKind {
+		ev.At = randomTiming(rng, true)
+		if rng.Bool(0.5) {
+			ev.End = randomTiming(rng, false)
+		}
+	}
+	switch ev.Kind {
+	case Crash:
+		ev.Contiguous = rng.Bool(0.5)
+		randomNodeAmount(rng, &ev, n)
+	case Rejoin:
+		if rng.Bool(0.5) {
+			randomNodeAmount(rng, &ev, n)
+		}
+	case LossBurst:
+		ev.Loss = float64(1+rng.Intn(98)) / 100
+	case Partition:
+		ev.Groups = 2 + rng.Intn(6)
+	case LinkDown:
+		ev.A = rng.Intn(n)
+		ev.B = ev.A
+		for ev.B == ev.A {
+			ev.B = rng.Intn(n)
+		}
+	case Flaky:
+		randomNodeAmount(rng, &ev, n)
+		ev.Loss = float64(1+rng.Intn(100)) / 100
+	case ChurnKind:
+		ev.Rate = float64(1+rng.Intn(100)) / 100
+		if rng.Bool(0.5) {
+			ev.Down = 1 + rng.Intn(200)
+		}
+	}
+	return ev
+}
+
+// TestCanonicalRoundTrip is the stringification property test: for
+// random grammar-space plans, Parse(p.Canonical()) reproduces the events
+// field for field (and the re-rendered canonical string is identical).
+func TestCanonicalRoundTrip(t *testing.T) {
+	const n = 64
+	rng := xrand.Derive(0xC0FFEE, 0x57)
+	for trial := 0; trial < 1000; trial++ {
+		p := &Plan{}
+		for len(p.Events) < 1+rng.Intn(4) {
+			p.Events = append(p.Events, randomEvent(rng, n))
+		}
+		if err := p.Validate(n); err != nil {
+			t.Fatalf("trial %d: generator produced invalid plan %q: %v", trial, p.Canonical(), err)
+		}
+		spec := p.Canonical()
+		got, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("trial %d: canonical spec %q does not parse: %v", trial, spec, err)
+		}
+		if !reflect.DeepEqual(got.Events, p.Events) {
+			t.Fatalf("trial %d: round-trip mismatch for %q:\n got  %+v\n want %+v",
+				trial, spec, got.Events, p.Events)
+		}
+		if again := got.Canonical(); again != spec {
+			t.Fatalf("trial %d: canonical not a fixed point: %q -> %q", trial, spec, again)
+		}
+	}
+}
+
+// TestGeneratorRoundTrip pins that every generator's String form parses
+// back to the exact same events — the copy-pasteable-reproducer
+// contract the chaos harness relies on.
+func TestGeneratorRoundTrip(t *testing.T) {
+	plans := map[string]*Plan{
+		"churn":      PoissonChurn(0.2, 0),
+		"churn-down": PoissonChurn(1, 40),
+		"crash":      CrashFraction(0.2, AtFrac(0.5), Timing{}),
+		"crash-all":  CrashFraction(1, Timing{}, Timing{}),
+		"rack":       RackFailure(0.1, At(100), At(400)),
+		"flaky":      FlakyRegion(0.25, 0.3, AtFrac(0.1), AtFrac(0.9)),
+		"part":       PartitionNetwork(3, AtFrac(0.2), AtFrac(0.6)),
+		"loss":       LossSpike(0.4, At(10), At(50)),
+		"crashfrac":  FromCrashFrac(64, sim.Options{Seed: 7, CrashFrac: 0.25}),
+		"merged": Merge(PoissonChurn(0.2, 5), RackFailure(0.25, AtFrac(0.5), Timing{}),
+			LossSpike(0.3, AtFrac(0.4), AtFrac(0.8))),
+	}
+	for name, p := range plans {
+		spec := p.String()
+		got, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("%s: spec %q does not parse: %v", name, spec, err)
+		}
+		if !reflect.DeepEqual(got.Events, p.Events) {
+			t.Fatalf("%s: round-trip mismatch for %q:\n got  %+v\n want %+v",
+				name, spec, got.Events, p.Events)
+		}
+	}
+}
+
+// TestExplicitNodeListSpecs pins the "#"-list grammar added for shrunk
+// reproducers.
+func TestExplicitNodeListSpecs(t *testing.T) {
+	p, err := Parse("crash:#3,7,9@0r;flaky:#1:0.5@2r..9r;rejoin:#3@12r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: Crash, Nodes: []int{3, 7, 9}},
+		{Kind: Flaky, Nodes: []int{1}, Loss: 0.5, At: At(2), End: At(9)},
+		{Kind: Rejoin, Nodes: []int{3}, At: At(12)},
+	}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Fatalf("parsed %+v, want %+v", p.Events, want)
+	}
+	if err := p.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"crash:#", "crash:#a", "crash:#-1", "rack:#1,"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("spec %q should not parse", bad)
+		}
+	}
+}
+
+// TestShrinkHooks exercises Without/WithEvent/Simplifications: the
+// results must stay valid, canonical-renderable plans.
+func TestShrinkHooks(t *testing.T) {
+	p, err := Parse("crash:0.4@0.3;part:4@0.5..0.8;loss:0.6@10r..90r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Without(1)
+	if len(q.Events) != 2 || q.Events[1].Kind != LossBurst {
+		t.Fatalf("Without(1) = %q", q.Canonical())
+	}
+	if len(p.Events) != 3 {
+		t.Fatal("Without mutated the original")
+	}
+	for i, ev := range p.Events {
+		for _, simp := range ev.Simplifications() {
+			r := p.WithEvent(i, simp)
+			if err := r.Validate(64); err != nil {
+				t.Errorf("simplification of event %d gives invalid plan %q: %v", i, r.Canonical(), err)
+			}
+			if _, err := Parse(r.Canonical()); err != nil {
+				t.Errorf("simplified plan %q does not re-parse: %v", i, err)
+			}
+		}
+	}
+	// A partition must simplify its group count, a window its end.
+	simps := p.Events[1].Simplifications()
+	foundGroups, foundEnd := false, false
+	for _, s := range simps {
+		if s.Groups == 2 {
+			foundGroups = true
+		}
+		if s.End.isZero() {
+			foundEnd = true
+		}
+	}
+	if !foundGroups || !foundEnd {
+		t.Fatalf("partition simplifications missing expected variants: %+v", simps)
+	}
+}

@@ -246,11 +246,18 @@ func (f *Forest) LeavesFirst() []int {
 	return out
 }
 
-// RepairParents heals a parent vector after mid-run crashes: dead nodes
-// (per the alive predicate) become NotMember, and every live node whose
-// parent died is promoted to a root of its own (orphaned) subtree. It
-// returns the number of promotions. The repaired vector is always a
-// valid forest for FromParents: edges only ever point to live nodes.
+// RepairParents heals a parent vector after mid-run membership changes:
+// dead nodes (per the alive predicate) become NotMember, and every live
+// node whose parent is no longer a member — it died, or it was dead
+// during the parent-decision step and has since rejoined with
+// parent[p] == NotMember — is promoted to a root of its own (orphaned)
+// subtree. It returns the number of promotions. The repaired vector is
+// always a valid forest for FromParents: edges only ever point to
+// member nodes. (The rejoin case is why aliveness alone is not enough:
+// a node that crashed during Phase I and revived before the repair is
+// alive but never joined the forest, and the chaos fuzzer found child
+// edges into exactly such nodes; see internal/chaos
+// testdata/regressions.txt.)
 func RepairParents(parent []int, alive func(int) bool) int {
 	promoted := 0
 	for i, p := range parent {
@@ -261,7 +268,7 @@ func RepairParents(parent []int, alive func(int) bool) int {
 			parent[i] = NotMember
 			continue
 		}
-		if p >= 0 && !alive(p) {
+		if p >= 0 && (!alive(p) || parent[p] == NotMember) {
 			parent[i] = Root
 			promoted++
 		}

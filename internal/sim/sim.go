@@ -214,7 +214,27 @@ type Engine struct {
 	memberObs      func(node int, alive bool)
 	residual       float64
 	residualStride int
+
+	// abortCheck is the run watchdog (SetAbortCheck): consulted every
+	// abortEvery rounds at the top of Tick; a non-nil error aborts the
+	// run by panicking with *AbortError.
+	abortCheck func(round int) error
+	abortEvery int
 }
+
+// AbortError is the panic value Tick raises when the installed abort
+// check rejects the run (see SetAbortCheck). Protocol drivers own their
+// round loops, so a mid-run abort unwinds them by panic; the facade
+// recovers it at the run boundary and turns the wrapped cause into a
+// partial answer. Err is the abort cause (a context error or a facade
+// budget sentinel).
+type AbortError struct{ Err error }
+
+// Error implements error.
+func (e *AbortError) Error() string { return "sim: run aborted: " + e.Err.Error() }
+
+// Unwrap returns the abort cause.
+func (e *AbortError) Unwrap() error { return e.Err }
 
 // initialRingSize is the delivery ring's starting slot count (power of
 // two). Direct and relayed sends only ever look one round ahead; routed
@@ -328,6 +348,8 @@ func (e *Engine) Reset(opts Options) {
 	e.memberObs = nil
 	e.residual = math.NaN()
 	e.residualStride = 1
+	e.abortCheck = nil
+	e.abortEvery = 0
 }
 
 // N returns the number of nodes (alive or crashed).
@@ -496,6 +518,24 @@ func (e *Engine) WantResidual() bool {
 // observer alone does not make the engine faulty.
 func (e *Engine) Faulty() bool { return e.roundHook != nil || e.linkFault != nil }
 
+// SetAbortCheck installs (or, with nil, removes) a run watchdog: f is
+// consulted at the top of every `every`-th Tick with the new round
+// number (every < 1 means every round), and a non-nil error aborts the
+// run by panicking with *AbortError wrapping it — the only way to stop
+// protocol drivers, which own their round loops, mid-run. The check
+// runs on the engine's sequential path before the round's fault hook
+// and deliveries, and is deliberately separate from the fault hooks so
+// installing one does not flip Faulty(). It is control-plane only: a
+// run the check never aborts is bit-identical to one without a check
+// installed. Reset removes it.
+func (e *Engine) SetAbortCheck(f func(round int) error, every int) {
+	if every < 1 {
+		every = 1
+	}
+	e.abortCheck = f
+	e.abortEvery = every
+}
+
 // InitialCrashSet returns the node ids NewEngine(n, opts) crashes
 // before round 1 — NewEngine itself builds its alive set from this, so
 // fault plans reproduce the static crash model exactly with round-0
@@ -623,6 +663,11 @@ var parallelTickFloor = 2048
 // sequential delivery for any shard count.
 func (e *Engine) Tick() {
 	e.c.Rounds++
+	if e.abortCheck != nil && e.c.Rounds%e.abortEvery == 0 {
+		if err := e.abortCheck(e.c.Rounds); err != nil {
+			panic(&AbortError{Err: err})
+		}
+	}
 	if e.roundHook != nil {
 		e.roundHook(e.c.Rounds)
 	}

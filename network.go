@@ -146,6 +146,12 @@ type Network struct {
 	em        *telemetry.Emitter
 	lastRound sim.Counters
 
+	// wd is the watchdog of the query currently in flight (nil between
+	// queries and whenever the config sets no Deadline/RoundBudget and
+	// the context is uncancellable). runQuery installs it; execOnce and
+	// execAsyncOnce hand it to the engines as their abort check.
+	wd *watchdog
+
 	queries     int
 	protoRuns   int
 	horizonRuns int
@@ -204,12 +210,26 @@ func (nw *Network) Exact(q Query) (float64, error) { return ExactOf(nw.cfg, q) }
 // Run executes one query against the session.
 func (nw *Network) Run(q Query) (*Answer, error) { return nw.RunContext(context.Background(), q) }
 
-// RunContext is Run with cancellation: the context is checked before
-// every protocol run, so composite queries (Quantile bisection,
-// Histogram edges) stop between steps. A run already in flight is not
-// interrupted mid-protocol.
+// RunContext is Run with cancellation and bounded degradation: the
+// context is checked before every protocol run and — through the
+// engine watchdog — every few rounds (events, in Async mode) inside a
+// run, so even a single long faulted run stops promptly. A cancelled
+// query returns its partial Answer (Quality.Partial true, Reason
+// "cancelled") alongside the context error; Config.Deadline and
+// Config.RoundBudget aborts return the partial Answer with a nil error
+// (see docs/ROBUSTNESS.md, "The degradation contract"). When
+// Config.Retry is set, non-converged answers are re-run on shadow
+// epochs before being returned.
 func (nw *Network) RunContext(ctx context.Context, q Query) (*Answer, error) {
 	nw.queries++
+	return nw.runWithRetry(ctx, q)
+}
+
+// runQuery executes one attempt of a query — no retry policy applied —
+// holding the query-scoped watchdog for its duration.
+func (nw *Network) runQuery(ctx context.Context, q Query) (*Answer, error) {
+	nw.wd = nw.newWatchdog(ctx)
+	defer func() { nw.wd = nil }()
 	if nw.cfg.Mode == Async {
 		return nw.runAsync(ctx, q)
 	}
@@ -483,11 +503,14 @@ func (nw *Network) engine() *sim.Engine {
 }
 
 // execOnce performs one protocol run on the pooled engine, attaching the
-// bound fault schedule (if any), the session's observers, and the
-// telemetry emitter's engine hooks. The engine Reset at the top clears
-// every hook from the previous run, so runs cannot leak observability
-// state into each other.
-func (nw *Network) execOnce(b *faults.Bound, op Op, run protoFunc) (*Result, *core.MomentsResult, error) {
+// bound fault schedule (if any), the session's observers, the query
+// watchdog, and the telemetry emitter's engine hooks. The engine Reset
+// at the top clears every hook from the previous run, so runs cannot
+// leak observability state into each other. A watchdog abort unwinds
+// the run as a *sim.AbortError panic, recovered here into a partial
+// Result (the engine's accounting at the abort round) plus the abort
+// cause as the error.
+func (nw *Network) execOnce(b *faults.Bound, op Op, run protoFunc) (res *Result, mres *core.MomentsResult, err error) {
 	nw.protoRuns++
 	eng := nw.engine()
 	runIdx := nw.protoRuns
@@ -518,15 +541,32 @@ func (nw *Network) execOnce(b *faults.Bound, op Op, run protoFunc) (*Result, *co
 			eng.SetResidualStride(em.RoundEvery())
 		}
 	}
+	if nw.wd != nil {
+		eng.SetAbortCheck(nw.wd.check, abortStrideSync)
+	}
 	if b != nil {
 		b.Attach(eng)
 	}
-	out, err := run(eng, nw.ov)
-	if err != nil {
-		return nil, nil, err
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ae, ok := r.(*sim.AbortError)
+		if !ok {
+			panic(r)
+		}
+		// The watchdog unwound the run mid-protocol: salvage the engine's
+		// accounting as a partial Result and surface the cause. The
+		// telemetry run still closes, so traces show the aborted run.
+		res, mres, err = nw.partialResult(eng, b), nil, ae.Err
+		em.RunEnd(eng)
+	}()
+	out, rerr := run(eng, nw.ov)
+	if rerr != nil {
+		return nil, nil, rerr
 	}
 	em.RunEnd(eng)
-	var res *Result
 	if out.mom != nil {
 		res = &Result{
 			Value:      out.mom.Mean,
@@ -697,6 +737,9 @@ func (nw *Network) aggregate(ctx context.Context, q Query) (*Answer, error) {
 	}
 	res, mom, err := nw.execute(ctx, q.Op, dispatch(q.Op, q.Values, q.Arg))
 	if err != nil {
+		if isAbort(err) {
+			return nw.abortedAnswer(q.Op, res, err)
+		}
 		return nil, err
 	}
 	ans := &Answer{
@@ -716,6 +759,7 @@ func (nw *Network) aggregate(ctx context.Context, q Query) (*Answer, error) {
 	if mom != nil {
 		ans.Mean, ans.Variance, ans.Std = mom.Mean, mom.Variance, mom.Std
 	}
+	nw.fillQuality(ans, noResidual, nil)
 	return ans, nil
 }
 
@@ -733,29 +777,33 @@ func (nw *Network) quantile(ctx context.Context, values []float64, phi, tol floa
 	ans := &Answer{Op: OpQuantile, Converged: true}
 	step := func(op Op, arg float64) (*Result, error) {
 		res, _, err := nw.execute(ctx, op, dispatch(op, values, arg))
+		if res != nil {
+			// Bill the run — aborted steps included: the partial answer's
+			// Cost covers the work actually spent before the abort.
+			ans.Cost.Runs++
+			ans.Cost.Rounds += res.Rounds
+			ans.Cost.Messages += res.Messages
+			ans.Cost.Drops += res.Drops
+			ans.PhaseCosts = mergePhaseCosts(ans.PhaseCosts, res.PhaseCosts)
+			ans.Alive = res.Alive
+			ans.FaultEvents, ans.FaultCrashes, ans.FaultRevives = res.FaultEvents, res.FaultCrashes, res.FaultRevives
+		}
 		if err != nil {
 			return nil, fmt.Errorf("quantile %s step: %w", op, err)
 		}
-		ans.Cost.Runs++
-		ans.Cost.Rounds += res.Rounds
-		ans.Cost.Messages += res.Messages
-		ans.Cost.Drops += res.Drops
-		ans.PhaseCosts = mergePhaseCosts(ans.PhaseCosts, res.PhaseCosts)
-		ans.Alive = res.Alive
-		ans.FaultEvents, ans.FaultCrashes, ans.FaultRevives = res.FaultEvents, res.FaultCrashes, res.FaultRevives
 		return res, nil
 	}
 	minRes, err := step(OpMin, 0)
 	if err != nil {
-		return nil, err
+		return nw.finishAbort(ans, err)
 	}
 	maxRes, err := step(OpMax, 0)
 	if err != nil {
-		return nil, err
+		return nw.finishAbort(ans, err)
 	}
 	countRes, err := step(OpCount, 0)
 	if err != nil {
-		return nil, err
+		return nw.finishAbort(ans, err)
 	}
 	target := math.Ceil(phi * math.Round(countRes.Value))
 	lo, hi := minRes.Value, maxRes.Value
@@ -764,13 +812,14 @@ func (nw *Network) quantile(ctx context.Context, values []float64, phi, tol floa
 	}
 	if tol <= 0 { // constant values
 		ans.Value = lo
+		nw.fillQuality(ans, noResidual, nil)
 		return ans, nil
 	}
 	for hi-lo > tol && ans.Cost.Runs < maxQuantileRuns {
 		mid := lo + (hi-lo)/2
 		rankRes, err := step(OpRank, mid)
 		if err != nil {
-			return nil, err
+			return nw.finishAbort(ans, err)
 		}
 		if math.Round(rankRes.Value) >= target {
 			hi = mid
@@ -782,6 +831,7 @@ func (nw *Network) quantile(ctx context.Context, values []float64, phi, tol floa
 	// looser answer, so say so instead of silently returning it.
 	ans.Converged = hi-lo <= tol
 	ans.Value = hi
+	nw.fillQuality(ans, noResidual, nil)
 	return ans, nil
 }
 
@@ -810,18 +860,28 @@ func (nw *Network) histogram(ctx context.Context, values, edges []float64) (*Ans
 	ans := &Answer{Op: OpHistogram, Value: math.NaN(), Converged: true, Counts: make([]float64, len(edges)+1)}
 	cum := make([]float64, len(edges))
 	var last *Result
+	// step bills one sub-run into the answer — aborted steps included, so
+	// a partial answer's Cost covers the work spent before the abort.
+	step := func(op Op, arg float64) (*Result, error) {
+		res, _, err := nw.execute(ctx, op, dispatch(op, values, arg))
+		if res != nil {
+			ans.Cost.Runs++
+			ans.Cost.Rounds += res.Rounds
+			ans.Cost.Messages += res.Messages
+			ans.Cost.Drops += res.Drops
+			ans.PhaseCosts = mergePhaseCosts(ans.PhaseCosts, res.PhaseCosts)
+			ans.Alive = res.Alive
+			ans.FaultEvents, ans.FaultCrashes, ans.FaultRevives = res.FaultEvents, res.FaultCrashes, res.FaultRevives
+			last = res
+		}
+		return res, err
+	}
 	for i, edge := range edges {
-		res, _, err := nw.execute(ctx, OpRank, dispatch(OpRank, values, edge))
+		res, err := step(OpRank, edge)
 		if err != nil {
-			return nil, fmt.Errorf("histogram edge %v: %w", edge, err)
+			return nw.finishAbort(ans, fmt.Errorf("histogram edge %v: %w", edge, err))
 		}
 		cum[i] = math.Round(res.Value)
-		ans.Cost.Runs++
-		ans.Cost.Rounds += res.Rounds
-		ans.Cost.Messages += res.Messages
-		ans.Cost.Drops += res.Drops
-		ans.PhaseCosts = mergePhaseCosts(ans.PhaseCosts, res.PhaseCosts)
-		last = res
 	}
 	ans.Counts[0] = cum[0]
 	for i := 1; i < len(edges); i++ {
@@ -839,21 +899,20 @@ func (nw *Network) histogram(ctx context.Context, values, edges []float64) (*Ans
 	// cumulative counts in every fault scenario, exactly as Quantile's
 	// bisection target is. The pre-session facade used a fresh *static*
 	// engine here, which was wrong whenever the plan changed membership.
-	total := float64(last.Alive)
+	lastRank := last
+	total := float64(lastRank.Alive)
 	if !nw.cfg.Faults.Empty() {
-		countRes, _, err := nw.execute(ctx, OpCount, dispatch(OpCount, values, 0))
+		countRes, err := step(OpCount, 0)
 		if err != nil {
-			return nil, fmt.Errorf("histogram population count: %w", err)
+			return nw.finishAbort(ans, fmt.Errorf("histogram population count: %w", err))
 		}
-		ans.Cost.Runs++
-		ans.Cost.Rounds += countRes.Rounds
-		ans.Cost.Messages += countRes.Messages
-		ans.Cost.Drops += countRes.Drops
-		ans.PhaseCosts = mergePhaseCosts(ans.PhaseCosts, countRes.PhaseCosts)
 		total = math.Round(countRes.Value)
+		// The answer's membership fields describe the Rank runs the counts
+		// came from, not the trailing population probe.
+		ans.Alive = lastRank.Alive
+		ans.FaultEvents, ans.FaultCrashes, ans.FaultRevives = lastRank.FaultEvents, lastRank.FaultCrashes, lastRank.FaultRevives
 	}
-	ans.Alive = last.Alive
-	ans.FaultEvents, ans.FaultCrashes, ans.FaultRevives = last.FaultEvents, last.FaultCrashes, last.FaultRevives
 	ans.Counts[len(edges)] = total - cum[len(edges)-1]
+	nw.fillQuality(ans, noResidual, nil)
 	return ans, nil
 }

@@ -273,8 +273,65 @@ type Answer struct {
 	// reports false when the bisection hit its run cap first, and an
 	// Async-mode OpAverage reports false when the estimate spread did
 	// not reach Config.AsyncEps within the event cap (slow-mixing
-	// overlays, isolated nodes).
+	// overlays, isolated nodes). Aborted (partial) answers always report
+	// false.
 	Converged bool
+	// Quality reports how trustworthy the answer is: whether the query
+	// ran to completion and what degradation the fault schedule could
+	// have introduced. It is populated on every answer — Partial is
+	// false and Reason empty on a normal completion — so callers gate on
+	// degradation uniformly instead of guessing from NaNs. See
+	// docs/ROBUSTNESS.md for the degradation contract.
+	Quality Quality
+}
+
+// Quality.Reason values: what cut a partial answer's run short.
+const (
+	// ReasonDeadline marks a run aborted by Config.Deadline.
+	ReasonDeadline = "deadline"
+	// ReasonRoundBudget marks a run aborted by Config.RoundBudget.
+	ReasonRoundBudget = "round-budget"
+	// ReasonCancelled marks a run aborted by context cancellation.
+	ReasonCancelled = "cancelled"
+)
+
+// Quality is the bounded-degradation block every Answer carries (see
+// Answer.Quality and docs/ROBUSTNESS.md). All fields are plain values
+// (never NaN), so answers stay comparable with reflect.DeepEqual.
+type Quality struct {
+	// Partial is true when the query did not run to completion: the
+	// watchdog aborted it (Config.Deadline or Config.RoundBudget) or the
+	// context was cancelled mid-run. A partial answer's Value is what
+	// the run could salvage (NaN for aborted synchronous pipelines, the
+	// current estimate mean for async averaging) and its Cost bills the
+	// work actually performed.
+	Partial bool
+	// Reason says what cut the run short: ReasonDeadline,
+	// ReasonRoundBudget or ReasonCancelled. Empty for complete runs.
+	Reason string
+	// AliveFraction is the surviving fraction of the population when the
+	// (last) run ended: Answer.Alive / Config.N.
+	AliveFraction float64
+	// Converged mirrors Answer.Converged, so the quality block is
+	// self-contained for logging.
+	Converged bool
+	// Residual is the final convergence residual where the execution
+	// model defines one: in Async mode the closing spread (max − min) of
+	// the alive nodes' estimates — 0 at exact consensus. The synchronous
+	// pipelines are exact rather than iterative and always report -1
+	// ("no residual"); their per-round gossip residual streams live in
+	// telemetry, not here.
+	Residual float64
+	// SurvivorBound estimates the worst-case input mass the fault
+	// schedule removed: FaultCrashes / N, the fraction of nodes the plan
+	// crashed during the (last) run. For mass-style aggregates (Sum,
+	// Count) the exact all-nodes value lies within roughly this relative
+	// distance below the answer; 0 without crashes.
+	SurvivorBound float64
+	// Retries counts the epoch-restart re-runs the answer consumed under
+	// Config.Retry (0 without a policy or when the first attempt
+	// converged).
+	Retries int
 }
 
 // result renders the answer as a legacy Result (the pre-session shape

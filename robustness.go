@@ -1,0 +1,268 @@
+// Bounded degradation: the per-query watchdog behind Config.Deadline
+// and Config.RoundBudget, the Quality block every Answer carries, and
+// the epoch-restart retry loop behind Config.Retry. The contract (see
+// docs/ROBUSTNESS.md): a query never hangs on a wedging fault plan —
+// the watchdog aborts the run at stride granularity and the query
+// returns a partial Answer whose Quality says what happened — and the
+// session's own limits (deadline, budget) are degradation, not errors;
+// only context cancellation surfaces as an error alongside the partial
+// answer.
+
+package drrgossip
+
+import (
+	"context"
+	"errors"
+	"math"
+	"time"
+
+	"drrgossip/internal/faults"
+	"drrgossip/internal/sim"
+)
+
+// ErrDeadlineExceeded is the abort cause of a query run stopped by
+// Config.Deadline. It is reported through Quality (Reason "deadline"),
+// not returned as an error: the query still yields its partial Answer.
+var ErrDeadlineExceeded = errors.New("drrgossip: query deadline exceeded")
+
+// ErrRoundBudget is the abort cause of a run stopped by
+// Config.RoundBudget; reported through Quality (Reason "round-budget").
+var ErrRoundBudget = errors.New("drrgossip: round budget exhausted")
+
+// abortStrideSync and abortStrideAsync are the watchdog polling
+// strides: every k synchronous rounds / async events the engine
+// consults the check. A synchronous round is O(alive) work while an
+// async event is O(1), hence the asymmetry; both keep the no-watchdog
+// hot path untouched (no check installed) and the watchdog overhead
+// well under the cost of the work between polls.
+const (
+	abortStrideSync  = 16
+	abortStrideAsync = 1024
+)
+
+// noResidual is the Quality.Residual value of execution models that
+// define no convergence residual (the synchronous exact pipelines). A
+// sentinel outside the residual's [0, ∞) range rather than NaN, so
+// answers stay DeepEqual-comparable.
+const noResidual = -1
+
+// watchdog is the per-query abort check installed on the engines for
+// the duration of one query attempt: round/event budget, context
+// cancellation, wall-clock deadline — cheapest test first.
+type watchdog struct {
+	ctx      context.Context
+	deadline time.Time
+	budget   int
+}
+
+// newWatchdog builds the query's watchdog, or nil when nothing could
+// ever trip it (uncancellable context, no deadline, no budget) — the
+// common case, which stays zero-overhead: no check is installed at all.
+func (nw *Network) newWatchdog(ctx context.Context) *watchdog {
+	w := &watchdog{ctx: ctx, budget: nw.cfg.RoundBudget}
+	if nw.cfg.Deadline > 0 {
+		w.deadline = time.Now().Add(nw.cfg.Deadline)
+	}
+	if ctx.Done() == nil && w.deadline.IsZero() && w.budget <= 0 {
+		return nil
+	}
+	return w
+}
+
+// check is the engine-facing watchdog hook, consulted every abort
+// stride with the run's progress counter (rounds or events). A non-nil
+// return aborts the run.
+func (w *watchdog) check(progress int) error {
+	if w.budget > 0 && progress > w.budget {
+		return ErrRoundBudget
+	}
+	if err := w.ctx.Err(); err != nil {
+		return err
+	}
+	if !w.deadline.IsZero() && !time.Now().Before(w.deadline) {
+		return ErrDeadlineExceeded
+	}
+	return nil
+}
+
+// isAbort reports whether err originated from a watchdog abort (or a
+// pre-run context check) rather than a protocol or configuration
+// failure — only abort causes produce partial answers.
+func isAbort(err error) bool {
+	return errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrRoundBudget) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// terminalAbort reports whether the abort cause must surface as an
+// error alongside the partial answer: context cancellation is the
+// caller asking to stop, while the session's own Deadline and
+// RoundBudget are degradation contracts absorbed into Quality.
+func terminalAbort(err error) bool {
+	return err != nil && !errors.Is(err, ErrDeadlineExceeded) && !errors.Is(err, ErrRoundBudget)
+}
+
+// abortReason maps an abort cause to its Quality.Reason label.
+func abortReason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDeadlineExceeded):
+		return ReasonDeadline
+	case errors.Is(err, ErrRoundBudget):
+		return ReasonRoundBudget
+	default:
+		return ReasonCancelled
+	}
+}
+
+// reasonErr is abortReason's inverse, for paths that retained only the
+// label (a partial answer's Quality) but need the sentinel back.
+func reasonErr(reason string) error {
+	switch reason {
+	case ReasonDeadline:
+		return ErrDeadlineExceeded
+	case ReasonRoundBudget:
+		return ErrRoundBudget
+	default:
+		return context.Canceled
+	}
+}
+
+// fillQuality stamps the answer's Quality block from its own fields and
+// the abort cause (nil for complete runs). residual is the model's
+// closing residual (noResidual for the synchronous pipelines).
+func (nw *Network) fillQuality(ans *Answer, residual float64, cause error) {
+	ans.Quality = Quality{
+		Partial:       cause != nil,
+		Reason:        abortReason(cause),
+		AliveFraction: float64(ans.Alive) / float64(nw.cfg.N),
+		Converged:     ans.Converged,
+		Residual:      residual,
+		SurvivorBound: float64(ans.FaultCrashes) / float64(nw.cfg.N),
+	}
+}
+
+// partialResult salvages what an aborted synchronous run can still
+// report: the engine's accounting and membership at the abort round. No
+// consensus value exists mid-protocol, so Value is NaN.
+func (nw *Network) partialResult(eng *sim.Engine, b *faults.Bound) *Result {
+	st := eng.Stats()
+	res := &Result{
+		Value:    math.NaN(),
+		Rounds:   st.Rounds,
+		Messages: st.Messages,
+		Drops:    st.Drops,
+		Alive:    eng.NumAlive(),
+	}
+	if b != nil {
+		res.FaultEvents, res.FaultCrashes, res.FaultRevives = b.Fired(), b.Crashed(), b.Revived()
+	}
+	return res
+}
+
+// abortedAnswer renders an aborted single-run query as a degraded
+// Answer: the bill covers the work actually done, Converged is false,
+// and Quality carries the abort reason. res may be nil (the abort hit
+// before any protocol run — a pre-cancelled context or an aborted
+// horizon pre-run), giving a zero-cost partial answer.
+func (nw *Network) abortedAnswer(op Op, res *Result, cause error) (*Answer, error) {
+	ans := &Answer{Op: op, Value: math.NaN()}
+	if res != nil {
+		ans.Value = res.Value
+		ans.Cost = Cost{Runs: 1, Rounds: res.Rounds, Messages: res.Messages, Drops: res.Drops}
+		ans.Alive = res.Alive
+		ans.FaultEvents, ans.FaultCrashes, ans.FaultRevives = res.FaultEvents, res.FaultCrashes, res.FaultRevives
+	}
+	nw.fillQuality(ans, noResidual, cause)
+	if terminalAbort(cause) {
+		return ans, cause
+	}
+	return ans, nil
+}
+
+// finishAbort closes a composite query (Quantile, Histogram) whose
+// current step was aborted: the answer keeps the cost and fault
+// accounting accumulated so far, drops any half-derived value, and
+// reports the abort through Quality. Non-abort errors pass through
+// unchanged (no answer).
+func (nw *Network) finishAbort(ans *Answer, err error) (*Answer, error) {
+	if !isAbort(err) {
+		return nil, err
+	}
+	ans.Converged = false
+	ans.Value = math.NaN()
+	nw.fillQuality(ans, noResidual, err)
+	if terminalAbort(err) {
+		return ans, err
+	}
+	return ans, nil
+}
+
+// retryable reports whether an answer qualifies for an epoch-restart
+// re-run: anything non-converged, except deadline aborts (the budget is
+// spent) and cancellations (the caller asked to stop).
+func retryable(ans *Answer) bool {
+	switch ans.Quality.Reason {
+	case ReasonDeadline, ReasonCancelled:
+		return false
+	}
+	return !ans.Converged
+}
+
+// defaultSeedStride is the RetryPolicy.SeedStride default: the odd
+// 64-bit golden-ratio constant, so successive epochs land in
+// well-separated regions of the seed space.
+const defaultSeedStride = 0x9E3779B97F4A7C15
+
+// runWithRetry executes one query, then — when a RetryPolicy is set and
+// the answer is retryable — re-runs it on shadow epoch sessions until
+// an attempt converges or the attempts are exhausted. The returned
+// answer is the last attempt's, its Cost accumulated over every attempt
+// (the query paid for all of them) and Quality.Retries counting the
+// restarts.
+func (nw *Network) runWithRetry(ctx context.Context, q Query) (*Answer, error) {
+	ans, err := nw.runQuery(ctx, q)
+	pol := nw.cfg.Retry
+	if pol == nil || err != nil || ans == nil || !retryable(ans) {
+		return ans, err
+	}
+	stride := pol.SeedStride
+	if stride == 0 {
+		stride = defaultSeedStride
+	}
+	best := ans
+	cost := ans.Cost
+	for attempt := 1; attempt <= pol.Attempts; attempt++ {
+		shadow := nw.epochSession(uint64(attempt) * stride)
+		next, err := shadow.runQuery(ctx, q)
+		nw.protoRuns += shadow.protoRuns
+		nw.horizonRuns += shadow.horizonRuns
+		nw.planBinds += shadow.planBinds
+		if err != nil {
+			// Cancelled (or failed) mid-retry: surface the error with the
+			// best completed attempt so far.
+			return best, err
+		}
+		cost = cost.Add(next.Cost)
+		next.Cost = cost
+		next.Quality.Retries = attempt
+		best = next
+		if !retryable(next) {
+			break
+		}
+	}
+	return best, nil
+}
+
+// epochSession replicates the session for one retry epoch: the same
+// (immutable) overlay, the config re-seeded by seedOffset, fresh fault
+// bindings (the new seed draws new crash sets and loss decisions under
+// the same symbolic plan), and no observers or telemetry — retries are
+// follow-up work of the same query, and their round streams would
+// interleave confusingly with the primary session's.
+func (nw *Network) epochSession(seedOffset uint64) *Network {
+	cfg := nw.cfg
+	cfg.Seed += seedOffset
+	cfg.Retry = nil
+	return &Network{cfg: cfg, ov: nw.ov, bounds: make(map[Op]*faults.Bound)}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt fmt-check doc-check bench bench-smoke bench-perf bench-guard bench-scale bench-scale-full bench-async chaos chaos-full ci
+.PHONY: all build test test-short race vet fmt fmt-check doc-check bench bench-smoke bench-perf bench-guard bench-scale bench-scale-full bench-async bench-quantile bench-quantile-full chaos chaos-full ci
 
 all: ci
 
@@ -75,6 +75,17 @@ bench-scale-full:
 # family at n=10^4 with machine-checked verdicts; writes BENCH_AS1.json.
 bench-async:
 	$(GO) run ./cmd/benchtab -experiment AS1 -json
+
+# Quantile driver race (QH1): HMS sampling vs the bisection golden
+# reference up the size ladder, with agreement/shape/ratio/bit-identity
+# verdicts; writes BENCH_QH1.json. The quick tier stops at 10^5; the
+# full tier's headline verdict is >=5x fewer rounds at 10^6 on Complete
+# (minutes, local/harness use).
+bench-quantile:
+	$(GO) run ./cmd/benchtab -experiment QH1 -quick -json
+
+bench-quantile-full:
+	$(GO) run ./cmd/benchtab -experiment QH1 -json
 
 # Chaos smoke: replay both pinned corpora (seed corpus + regression
 # corpus) and a CI-sized batch of generated fault-plan cases through

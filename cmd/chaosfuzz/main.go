@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"drrgossip"
 	"drrgossip/internal/chaos"
 )
 
@@ -33,15 +34,16 @@ func main() {
 		oneCase = flag.String("case", "", "check a single reproducer line instead of running a campaign")
 		update  = flag.Bool("update", false, "append shrunk reproducers of new failures to the corpus file")
 		verbose = flag.Bool("v", false, "print one line per checked case")
+		method  = flag.String("qm", "", "force every generated case's quantile method (bisect or hms; empty lets the generator draw)")
 	)
 	flag.Parse()
-	if err := run(*cases, *seed, *corpus, *oneCase, *update, *verbose); err != nil {
+	if err := run(*cases, *seed, *corpus, *oneCase, *update, *verbose, *method); err != nil {
 		fmt.Fprintln(os.Stderr, "chaosfuzz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cases int, seed uint64, corpusPath, oneCase string, update, verbose bool) error {
+func run(cases int, seed uint64, corpusPath, oneCase string, update, verbose bool, method string) error {
 	if oneCase != "" {
 		c, err := chaos.ParseCase(oneCase)
 		if err != nil {
@@ -59,6 +61,13 @@ func run(cases int, seed uint64, corpusPath, oneCase string, update, verbose boo
 	}
 
 	opts := chaos.Options{Cases: cases, Seed: seed}
+	if method != "" {
+		qm, err := drrgossip.ParseQuantileMethod(method)
+		if err != nil {
+			return err
+		}
+		opts.ForceMethod = &qm
+	}
 	var updatePath string
 	for _, path := range strings.Split(corpusPath, ",") {
 		if path = strings.TrimSpace(path); path == "" {

@@ -14,6 +14,7 @@
 //	go run ./cmd/drrgossip -n 1024 -agg max -topology regular:6
 //	go run ./cmd/drrgossip -n 4096 -agg rank -arg 500
 //	go run ./cmd/drrgossip -n 4096 -agg quantile -arg 0.99
+//	go run ./cmd/drrgossip -n 4096 -agg quantile -quantile-method hms
 //	go run ./cmd/drrgossip -n 4096 -agg histogram -edges 250,500,750
 //	go run ./cmd/drrgossip -n 1024 -agg average -faults "crash:0.2@0.5"
 //	go run ./cmd/drrgossip -n 1024 -agg sum -faults "churn:0.3:40" -progress 200
@@ -56,6 +57,8 @@ func main() {
 			"topology spec: "+strings.Join(drrgossip.TopologyNames(), "|")+" (param via name:param, e.g. regular:6)")
 		faultSpec = flag.String("faults", "",
 			`fault plan spec, e.g. "crash:0.2@0.5", "churn:0.3:40", "part:2@0.25..0.75;loss:0.2@0.5..0.9"`)
+		quantMethod = flag.String("quantile-method", "bisect",
+			"quantile driver: bisect (the golden reference) or hms (Haeupler–Mohapatra–Su gossip sampling)")
 		progress = flag.Int("progress", 0, "stream a live progress line to stderr every K rounds (0 = off)")
 		workers  = flag.Int("workers", 0, "in-run delivery shards for large n (0/1 = sequential; results identical for any value)")
 		lo       = flag.Float64("lo", 0, "value range low")
@@ -74,6 +77,10 @@ func main() {
 	}
 	cfg.Topology = topo
 	if cfg.Faults, err = drrgossip.ParseFaultPlan(*faultSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "drrgossip: %v\n", err)
+		os.Exit(2)
+	}
+	if cfg.QuantileMethod, err = drrgossip.ParseQuantileMethod(*quantMethod); err != nil {
 		fmt.Fprintf(os.Stderr, "drrgossip: %v\n", err)
 		os.Exit(2)
 	}

@@ -124,6 +124,49 @@ func (m Mode) String() string {
 	}
 }
 
+// QuantileMethod selects the protocol behind QuantileOf queries.
+type QuantileMethod uint8
+
+const (
+	// QuantileBisect (the zero value) bisects the value range with one
+	// exact Rank run per step — ~log2(range/tol) sequential aggregate
+	// runs. It is the session facade's golden reference: slow but
+	// maximally simple, and pinned bit-identical by the quantile goldens.
+	QuantileBisect QuantileMethod = iota
+	// QuantileHMS runs the Haeupler–Mohapatra–Su sampling protocol
+	// (arXiv:1711.09258, internal/hms): one Count run, one O(log n)-round
+	// gossip-sampling session with candidate-interval pruning, and a
+	// handful of exact Rank probes that certify the quantile — typically
+	// ~4 aggregate runs total instead of bisection's ~23, and exact
+	// (not tol-approximate) on healthy sessions. Differentially tested
+	// against QuantileBisect (quantile_diff_test.go, experiment QH1).
+	QuantileHMS
+)
+
+// String renders the method ("bisect", "hms").
+func (m QuantileMethod) String() string {
+	switch m {
+	case QuantileBisect:
+		return "bisect"
+	case QuantileHMS:
+		return "hms"
+	default:
+		return fmt.Sprintf("QuantileMethod(%d)", uint8(m))
+	}
+}
+
+// ParseQuantileMethod parses "bisect" (or "", the default) and "hms".
+func ParseQuantileMethod(s string) (QuantileMethod, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "bisect", "bisection":
+		return QuantileBisect, nil
+	case "hms":
+		return QuantileHMS, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown quantile method %q (want bisect or hms)", ErrBadConfig, s)
+	}
+}
+
 // Topology selects the communication substrate. The zero value is
 // Complete (the paper's random phone call model); every other topology
 // names an overlay family in the registry and runs the Section 4 sparse
@@ -269,6 +312,13 @@ type Config struct {
 	// synchronous DRR-gossip pipelines; Async runs classical asynchronous
 	// pairwise averaging on per-node Poisson clocks (AverageOf only).
 	Mode Mode
+	// QuantileMethod selects the protocol behind QuantileOf queries:
+	// QuantileBisect (default) is the Rank-bisection golden reference,
+	// QuantileHMS the sampling protocol of arXiv:1711.09258 (typically
+	// ~5x fewer rounds, exact on healthy sessions). Ignored by every
+	// other query; not supported in Async mode (which only runs
+	// AverageOf anyway).
+	QuantileMethod QuantileMethod
 	// AsyncPeer names the Async-mode peer-selection policy: "uniform"
 	// (or "", the default), "gge" (greedy gossip with eavesdropping —
 	// sparse overlays only), or "samplegreedy". Ignored in Sync mode.
@@ -391,6 +441,11 @@ func (c Config) validate() error {
 	}
 	if c.Retry != nil && c.Retry.Attempts < 1 {
 		return fmt.Errorf("%w: RetryPolicy.Attempts must be >= 1, got %d", ErrBadConfig, c.Retry.Attempts)
+	}
+	switch c.QuantileMethod {
+	case QuantileBisect, QuantileHMS:
+	default:
+		return fmt.Errorf("%w: unknown QuantileMethod %d (want QuantileBisect or QuantileHMS)", ErrBadConfig, int(c.QuantileMethod))
 	}
 	switch c.Mode {
 	case Sync:

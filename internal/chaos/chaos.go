@@ -37,6 +37,10 @@ type Case struct {
 	Seed uint64
 	// Loss is the baseline per-message drop probability.
 	Loss float64
+	// QuantileMethod selects the battery's quantile driver (bisection
+	// golden reference or the HMS sampling protocol); the invariant
+	// library cross-checks the two on every non-churn case.
+	QuantileMethod drrgossip.QuantileMethod
 	// Plan is the symbolic fault plan (nil for the healthy control).
 	Plan *faults.Plan
 }
@@ -49,8 +53,14 @@ func (c Case) String() string {
 	if !c.Plan.Empty() {
 		plan = c.Plan.String()
 	}
-	return fmt.Sprintf("n=%d topo=%s seed=%d loss=%s plan=%s",
-		c.N, c.Topology, c.Seed, strconv.FormatFloat(c.Loss, 'g', -1, 64), plan)
+	qm := ""
+	if c.QuantileMethod != drrgossip.QuantileBisect {
+		// The default method is omitted so every pre-existing corpus
+		// line stays canonical.
+		qm = fmt.Sprintf("qm=%s ", c.QuantileMethod)
+	}
+	return fmt.Sprintf("n=%d topo=%s seed=%d loss=%s %splan=%s",
+		c.N, c.Topology, c.Seed, strconv.FormatFloat(c.Loss, 'g', -1, 64), qm, plan)
 }
 
 // ParseCase parses a reproducer line produced by Case.String.
@@ -76,6 +86,8 @@ func ParseCase(line string) (Case, error) {
 			c.Seed, err = strconv.ParseUint(val, 10, 64)
 		case "loss":
 			c.Loss, err = strconv.ParseFloat(val, 64)
+		case "qm":
+			c.QuantileMethod, err = drrgossip.ParseQuantileMethod(val)
 		case "plan":
 			if val != "none" {
 				c.Plan, err = faults.Parse(val)
@@ -107,11 +119,12 @@ func ParseCase(line string) (Case, error) {
 // its own event cap).
 func (c Case) config(budget int) drrgossip.Config {
 	return drrgossip.Config{
-		N:           c.N,
-		Seed:        c.Seed,
-		Topology:    c.Topology,
-		Loss:        c.Loss,
-		Faults:      c.Plan,
-		RoundBudget: budget,
+		N:              c.N,
+		Seed:           c.Seed,
+		Topology:       c.Topology,
+		Loss:           c.Loss,
+		QuantileMethod: c.QuantileMethod,
+		Faults:         c.Plan,
+		RoundBudget:    budget,
 	}
 }

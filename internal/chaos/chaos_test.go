@@ -244,3 +244,60 @@ func TestLoadCorpusMissingFile(t *testing.T) {
 		t.Errorf("got %v, want nil", lines)
 	}
 }
+
+// TestCaseQuantileMethodAxis pins the qm field of the reproducer
+// format: hms renders (and round-trips) explicitly, bisect is omitted
+// so every pre-existing corpus line stays canonical.
+func TestCaseQuantileMethodAxis(t *testing.T) {
+	line := "n=64 topo=complete seed=1 loss=0 qm=hms plan=crash:0.2@0.5"
+	c, err := ParseCase(line)
+	if err != nil {
+		t.Fatalf("ParseCase(%q): %v", line, err)
+	}
+	if c.QuantileMethod != drrgossip.QuantileHMS {
+		t.Fatalf("QuantileMethod = %v, want hms", c.QuantileMethod)
+	}
+	if got := c.String(); got != line {
+		t.Errorf("round trip:\n  in:  %s\n  out: %s", line, got)
+	}
+	// Absent qm means the bisection default — back-compat with every
+	// line pinned before the axis existed.
+	old, err := ParseCase("n=64 topo=complete seed=1 loss=0 plan=none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.QuantileMethod != drrgossip.QuantileBisect {
+		t.Fatalf("legacy line parsed as %v, want bisect", old.QuantileMethod)
+	}
+	if _, err := ParseCase("n=64 seed=1 qm=newton"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+// TestGenerateCoversBothMethods checks the generator actually draws
+// both quantile drivers, and that ForceMethod pins a campaign to one.
+func TestGenerateCoversBothMethods(t *testing.T) {
+	seen := map[drrgossip.QuantileMethod]int{}
+	for i := 0; i < 60; i++ {
+		seen[Generate(5, i).QuantileMethod]++
+	}
+	if seen[drrgossip.QuantileBisect] == 0 || seen[drrgossip.QuantileHMS] == 0 {
+		t.Fatalf("generator covers only %v", seen)
+	}
+}
+
+// TestShrinkDropsQuantileMethod checks the delta-debugger simplifies an
+// hms case down to the bisection reference when the failure does not
+// need the HMS driver.
+func TestShrinkDropsQuantileMethod(t *testing.T) {
+	plan, err := faults.Parse("crash:0.3@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Case{N: 64, Topology: drrgossip.Complete, Seed: 1,
+		QuantileMethod: drrgossip.QuantileHMS, Plan: plan}
+	min := Shrink(c, func(cand Case) bool { return cand.Plan != nil }, 50)
+	if min.QuantileMethod != drrgossip.QuantileBisect {
+		t.Errorf("QuantileMethod = %v, want bisect (irrelevant to the predicate)", min.QuantileMethod)
+	}
+}

@@ -7,6 +7,8 @@ package chaos
 import (
 	"fmt"
 	"io"
+
+	"drrgossip"
 )
 
 // Options parameterise a fuzzing campaign.
@@ -22,6 +24,10 @@ type Options struct {
 	// ShrinkBudget caps the battery evaluations spent minimising each
 	// failure (0 = DefaultShrinkBudget).
 	ShrinkBudget int
+	// ForceMethod, when non-nil, overrides every generated case's
+	// quantile method — the per-method calibration campaigns pin both
+	// drivers to the same case sequence. Corpus lines keep their own.
+	ForceMethod *drrgossip.QuantileMethod
 	// Progress, when non-nil, receives one line per checked case.
 	Progress io.Writer
 }
@@ -92,7 +98,11 @@ func Fuzz(opts Options) (*Report, error) {
 		run(c, fmt.Sprintf("corpus[%d]", i))
 	}
 	for i := 0; i < cases; i++ {
-		run(Generate(opts.Seed, i), fmt.Sprintf("case[%d]", i))
+		c := Generate(opts.Seed, i)
+		if opts.ForceMethod != nil {
+			c.QuantileMethod = *opts.ForceMethod
+		}
+		run(c, fmt.Sprintf("case[%d]", i))
 	}
 	return rep, nil
 }

@@ -32,6 +32,12 @@ func Generate(seed uint64, idx int) Case {
 		Topology: genTopologies[rng.Intn(len(genTopologies))],
 		Seed:     rng.Uint64(),
 	}
+	if rng.Bool(0.5) {
+		// Half of every campaign fuzzes the HMS quantile driver; the
+		// draw happens before the healthy-control cut so both methods
+		// get healthy exactness coverage too.
+		c.QuantileMethod = drrgossip.QuantileHMS
+	}
 	if rng.Bool(0.125) {
 		return c // healthy control
 	}

@@ -177,6 +177,7 @@ func CheckCase(c Case) []Violation {
 	}
 	checkSyncValues(c, b, answers, fail)
 	checkHistogramConsistency(b, answers, fail)
+	checkQuantileMethods(c, b, answers, fail)
 	checkDeterminism(c, b, answers, fail)
 	checkAsync(c, b, fail)
 	return vs
@@ -244,6 +245,24 @@ func checkSyncValues(c Case, b *battery, answers []*drrgossip.Answer, fail func(
 
 	switch c.tier() {
 	case tierHealthy:
+		// Rank cross-consistency: both quantile drivers converge on a
+		// value whose true rank covers the target — bisection keeps the
+		// upper bracket end (rank >= t by the loop invariant), HMS
+		// certifies the exact order statistic.
+		target := int(math.Ceil(batteryQuantilePhi * n))
+		if got := exactRank(b.values, quantV); got < target {
+			fail("quantile-rank", "healthy Quantile[%s] %v has rank %d < target %d",
+				c.QuantileMethod, quantV, got, target)
+		}
+		exactQ := agg.Quantile(b.values, batteryQuantilePhi)
+		if c.QuantileMethod == drrgossip.QuantileHMS {
+			if quantV != exactQ {
+				fail("exact", "healthy Quantile[hms] = %v, want exactly %v", quantV, exactQ)
+			}
+		} else if math.Abs(quantV-exactQ) > batteryQuantileTol {
+			fail("exact", "healthy Quantile[bisect] = %v, want %v within tol %g",
+				quantV, exactQ, batteryQuantileTol)
+		}
 		if maxV != b.max || minV != b.min {
 			fail("exact", "healthy Max/Min = %v/%v, want %v/%v", maxV, minV, b.max, b.min)
 		}
@@ -265,6 +284,43 @@ func checkSyncValues(c Case, b *battery, answers []*drrgossip.Answer, fail func(
 		if aveV < b.min-1e-9 || aveV > b.max+1e-9 {
 			fail("average-hull", "Average %v outside input hull [%v,%v] under membership-stable plan", aveV, b.min, b.max)
 		}
+	}
+}
+
+// checkQuantileMethods is the differential invariant of the quantile
+// drivers: the case's method answered in the battery; here the OTHER
+// method answers the same query on a fresh session, and the two must
+// agree within 2x the query tolerance. Gated to the non-churn tiers —
+// under membership churn each driver's step sequence replays the plan
+// at different round offsets, so their surviving populations (and hence
+// their quantiles) may legitimately differ.
+func checkQuantileMethods(c Case, b *battery, answers []*drrgossip.Answer, fail func(string, string, ...any)) {
+	if c.tier() == tierChurn {
+		return
+	}
+	other := c
+	if c.QuantileMethod == drrgossip.QuantileHMS {
+		other.QuantileMethod = drrgossip.QuantileBisect
+	} else {
+		other.QuantileMethod = drrgossip.QuantileHMS
+	}
+	nw, err := drrgossip.New(other.config(SyncBudget))
+	if err != nil {
+		fail("harness", "cross-method New: %v", err)
+		return
+	}
+	ans, err := nw.Run(b.queries[qQuantile])
+	if err != nil {
+		fail("termination", "Quantile[%s]: %v", other.QuantileMethod, err)
+		return
+	}
+	mine := answers[qQuantile]
+	if !mine.Converged || !ans.Converged {
+		return // an honest non-convergence is a looser answer, not a disagreement
+	}
+	if d := math.Abs(ans.Value - mine.Value); d > 2*batteryQuantileTol {
+		fail("quantile-methods", "Quantile[%s] %v vs Quantile[%s] %v differ by %v > 2·tol",
+			c.QuantileMethod, mine.Value, other.QuantileMethod, ans.Value, d)
 	}
 }
 

@@ -7,6 +7,8 @@
 
 package chaos
 
+import "drrgossip"
+
 // DefaultShrinkBudget caps the invariant-battery evaluations one shrink
 // may spend. Plans are at most a handful of events, so the fixpoint is
 // normally reached in well under this many candidates.
@@ -30,6 +32,15 @@ func Shrink(c Case, fails func(Case) bool, budget int) Case {
 		return fails(cand)
 	}
 	cur := c
+	// The quantile method first: a reproducer that fails on the
+	// bisection reference is simpler than one needing the HMS driver.
+	if cur.QuantileMethod != drrgossip.QuantileBisect {
+		cand := cur
+		cand.QuantileMethod = drrgossip.QuantileBisect
+		if try(cand) {
+			cur = cand
+		}
+	}
 	// Baseline loss first: a reproducer that fails without it is simpler.
 	if cur.Loss != 0 {
 		cand := cur

@@ -174,6 +174,7 @@ func Registry() []Experiment {
 		{"OV1", "Overlay sweep: Section 4 pipeline on pluggable topologies", RunOV1},
 		{"FT1", "Fault injection: aggregates under churn, partitions and loss bursts", RunFT1},
 		{"QB1", "Session amortization: batched queries reuse overlay and fault horizon", RunQB1},
+		{"QH1", "Fast quantiles: HMS sampling driver vs bisection golden reference", RunQH1},
 		{"SC1", "Scaling study: rounds, messages and memory from 10^3 to 10^7 nodes", RunSC1},
 		{"AS1", "Async baseline: DRR vs pairwise averaging (uniform, GGE, sample-greedy)", RunAS1},
 		{"CH1", "Chaos harness: invariant fuzzing over fault plans", RunCH1},

@@ -33,7 +33,7 @@ func runAndCheck(t *testing.T, id string) *Report {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "OV1", "FT1", "QB1", "SC1", "AS1", "CH1", "A1", "A2", "A3"}
+	want := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "OV1", "FT1", "QB1", "QH1", "SC1", "AS1", "CH1", "A1", "A2", "A3"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
@@ -109,6 +109,35 @@ func TestSC1SmallSizes(t *testing.T) {
 		}
 		if !v.Pass {
 			t.Logf("SC1 fit verdict at toy sizes: %s (%s)", v.Name, v.Detail)
+		}
+	}
+}
+
+// QH1 at test-sized ladders: the deterministic verdicts (cross-method
+// agreement, fewer runs, shard bit-identity) must hold at any size; the
+// asymptotic-fit and headline-ratio verdicts need decades of n and are
+// only logged here — the CI quantile-smoke tier (benchtab -experiment
+// QH1 -quick) enforces them at full strength.
+func TestQH1SmallSizes(t *testing.T) {
+	rep, err := runQH1(quickCfg, []int{256, 1024, 4096}, []int{256, 1024}, 1.0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) == 0 {
+		t.Fatal("QH1 produced no tables")
+	}
+	for _, v := range rep.Verdicts {
+		deterministic := strings.Contains(v.Name, "agree within") ||
+			strings.Contains(v.Name, "fewer aggregate runs") ||
+			strings.Contains(v.Name, "bit-identical")
+		if deterministic {
+			if !v.Pass {
+				t.Errorf("QH1 deterministic verdict failed: %s (%s)", v.Name, v.Detail)
+			}
+			continue
+		}
+		if !v.Pass {
+			t.Logf("QH1 fit verdict at toy sizes: %s (%s)", v.Name, v.Detail)
 		}
 	}
 }

@@ -1,0 +1,266 @@
+package hms
+
+import (
+	"math"
+	"sort"
+)
+
+// maxWalkProbes caps the certification walk; a walk that has not
+// certified by then reports !Exact and the caller falls back to value
+// bisection inside the walk's probed bracket.
+const maxWalkProbes = 12
+
+// certDensity is the minimum average samples-per-rank-unit (Total/Count)
+// at which the coverage certificates may be trusted: a population value
+// inside the candidate interval is missed by every batch with
+// probability ~e^-density, so density >= 8 bounds the per-value miss
+// probability by ~3e-4 and the walk's tests pin it to zero on every
+// golden seed. Below the threshold the walk insists on the strict
+// nextafter certificate instead.
+const certDensity = 8
+
+type anchor struct {
+	k    int // in-interval samples at or below the probed value
+	rank int // exact rank from the probe
+}
+
+// Walk drives the certification endgame: it proposes Rank-probe values
+// (Next), consumes their exact results (Observe), and terminates either
+// with a certified-exact quantile (Exact) or with a probed bracket for
+// the caller's bisection fallback (Bracket).
+//
+// Certificates, for target rank t over population m:
+//
+//   - value cert: a probed data value c with Rank(c) == t is exactly the
+//     t-th order statistic (any smaller data value d with Rank(d) >= t
+//     would force Rank(c) > t).
+//   - strict cert: Rank(c) >= t and Rank(nextafter(c, -Inf)) < t means c
+//     is the smallest value of rank >= t — floats are discrete, so no
+//     data value lies strictly between.
+//   - gap cert: Rank(c) >= t, and some x < c with Rank(x) < t such that
+//     no retained sample lies in (x, c). Every population value in the
+//     candidate interval appears in the multiset with probability
+//     1 - e^-density, so (x, c) holds no data value and c is exact.
+//     Only trusted when density >= certDensity.
+type Walk struct {
+	sum    *Summary
+	t, m   int
+	probed map[float64]int
+
+	loV, hiV     float64
+	loR, hiR     int
+	haveLo, have bool
+
+	anchors []anchor
+	probes  int
+	strict  int // nextafter probes spent (bounded: each gains one ULP at most)
+
+	done  bool
+	exact bool
+	value float64
+}
+
+// NewWalk starts a certification walk over a sampling summary.
+func NewWalk(sum *Summary) *Walk {
+	return &Walk{
+		sum:    sum,
+		t:      sum.Target,
+		m:      sum.Count,
+		probed: make(map[float64]int),
+	}
+}
+
+// Probes reports how many probe results the walk has consumed.
+func (w *Walk) Probes() int { return w.probes }
+
+// Exact reports the certified quantile, if the walk certified one.
+func (w *Walk) Exact() (float64, bool) { return w.value, w.exact }
+
+// Bracket reports the tightest probed bracket: lo is the largest probed
+// value with rank < t (loOK false when none), hi the smallest probed
+// value with rank >= t (hiOK false when none). The φ-quantile lies in
+// (lo, hi] whenever both ends are known.
+func (w *Walk) Bracket() (lo float64, loOK bool, hi float64, hiOK bool) {
+	return w.loV, w.haveLo, w.hiV, w.have
+}
+
+// Observe records one exact Rank probe result.
+func (w *Walk) Observe(q float64, rank int) {
+	w.probed[q] = rank
+	w.probes++
+	if rank >= w.t {
+		if !w.have || q < w.hiV {
+			w.hiV, w.hiR, w.have = q, rank, true
+		}
+	} else {
+		if !w.haveLo || q > w.loV {
+			w.loV, w.loR, w.haveLo = q, rank, true
+		}
+	}
+	w.anchors = append(w.anchors, anchor{k: w.countLE(q), rank: rank})
+}
+
+// countLE counts retained samples at or below v.
+func (w *Walk) countLE(v float64) int {
+	return sort.Search(len(w.sum.In), func(i int) bool { return w.sum.In[i] > v })
+}
+
+// isSample reports whether v appears in the retained multiset.
+func (w *Walk) isSample(v float64) bool {
+	i := sort.SearchFloat64s(w.sum.In, v)
+	return i < len(w.sum.In) && w.sum.In[i] == v
+}
+
+// predSample returns the largest retained sample strictly below v.
+func (w *Walk) predSample(v float64) (float64, bool) {
+	i := sort.SearchFloat64s(w.sum.In, v)
+	if i == 0 {
+		return 0, false
+	}
+	return w.sum.In[i-1], true
+}
+
+// succSample returns the smallest retained sample strictly above v.
+func (w *Walk) succSample(v float64) (float64, bool) {
+	i := w.countLE(v)
+	if i >= len(w.sum.In) {
+		return 0, false
+	}
+	return w.sum.In[i], true
+}
+
+// density is the average number of samples per rank unit.
+func (w *Walk) density() float64 {
+	return float64(w.sum.Total) / float64(w.m)
+}
+
+// bestAnchor returns the probed anchor whose rank is closest to the
+// target, preferring exact probe information over the global estimate.
+func (w *Walk) bestAnchor() (anchor, bool) {
+	best, ok := anchor{}, false
+	for _, a := range w.anchors {
+		if !ok || abs(a.rank-w.t) < abs(best.rank-w.t) {
+			best, ok = a, true
+		}
+	}
+	return best, ok
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// candidate picks the retained sample whose estimated rank is the target:
+// the anchored estimate of the rank of the sample at in-interval position
+// k is rank_a + (k − k_a)/density, so the target position is
+// k_a + density·(t − rank_a) (Below-offset global estimate before the
+// first probe).
+func (w *Walk) candidate() (float64, bool) {
+	d := w.density()
+	if d <= 0 || len(w.sum.In) == 0 {
+		return 0, false
+	}
+	var kTarget float64
+	if a, ok := w.bestAnchor(); ok {
+		kTarget = float64(a.k) + d*float64(w.t-a.rank)
+	} else {
+		kTarget = d*float64(w.t) - float64(w.sum.Below)
+	}
+	idx := int(math.Ceil(kTarget)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(w.sum.In) {
+		idx = len(w.sum.In) - 1
+	}
+	return w.sum.In[idx], true
+}
+
+// finish certifies v as exact and ends the walk.
+func (w *Walk) finish(v float64) (float64, bool) {
+	w.done, w.exact, w.value = true, true, v
+	return 0, false
+}
+
+// stop ends the walk without a certificate.
+func (w *Walk) stop() (float64, bool) {
+	w.done = true
+	return 0, false
+}
+
+// Next returns the next value to probe with an exact Rank run, or false
+// when the walk has terminated (check Exact, then Bracket).
+func (w *Walk) Next() (float64, bool) {
+	if w.done {
+		return 0, false
+	}
+	if len(w.sum.In) == 0 || w.sum.Total == 0 || w.m <= 0 {
+		return w.stop()
+	}
+	if w.probes >= maxWalkProbes {
+		return w.stop()
+	}
+	if !w.have {
+		// Still hunting an upper end: probe the estimated target sample,
+		// skipping values already known to sit below the target rank.
+		v, ok := w.candidate()
+		if !ok {
+			return w.stop()
+		}
+		if w.haveLo && v <= w.loV {
+			if v, ok = w.succSample(w.loV); !ok {
+				return w.stop()
+			}
+		}
+		for {
+			if _, seen := w.probed[v]; !seen {
+				return v, true
+			}
+			if v, ok = w.succSample(v); !ok {
+				return w.stop()
+			}
+		}
+	}
+	// An upper end hiV with Rank >= t is known; certify it or tighten.
+	if w.hiR == w.t && w.isSample(w.hiV) {
+		return w.finish(w.hiV)
+	}
+	below := math.Nextafter(w.hiV, math.Inf(-1))
+	if r, seen := w.probed[below]; seen && r < w.t {
+		return w.finish(w.hiV) // strict cert
+	}
+	trusted := w.density() >= certDensity
+	pred, hasPred := w.predSample(w.hiV)
+	if trusted {
+		switch {
+		case !hasPred && w.sum.Below == 0 && math.IsInf(w.sum.Lo, -1):
+			// No sample anywhere below hiV across the whole session: the
+			// population holds nothing below it, so rank(nextafter) = 0 < t.
+			return w.finish(w.hiV)
+		case hasPred && w.haveLo && w.loV >= pred:
+			return w.finish(w.hiV) // gap cert: no sample inside (loV, hiV)
+		case hasPred:
+			if r, seen := w.probed[pred]; seen && r < w.t {
+				return w.finish(w.hiV) // gap cert on adjacent sample
+			}
+		}
+	}
+	// Tighten: probe the adjacent sample below hiV when it is still
+	// informative, else fall back to the strict nextafter certificate.
+	if hasPred && (!w.haveLo || pred > w.loV) {
+		if _, seen := w.probed[pred]; !seen {
+			return pred, true
+		}
+	}
+	if _, seen := w.probed[below]; !seen && w.strict < 2 {
+		// A nextafter probe either certifies hiV (rank < t) or moves hiV
+		// down a single ULP (rank >= t) — the latter cannot make
+		// progress, so at most two are ever worth spending.
+		w.strict++
+		return below, true
+	}
+	return w.stop()
+}

@@ -20,6 +20,7 @@ import (
 
 	core "drrgossip/internal/drrgossip"
 	"drrgossip/internal/faults"
+	"drrgossip/internal/hms"
 	"drrgossip/internal/overlay"
 	"drrgossip/internal/sim"
 	"drrgossip/internal/telemetry"
@@ -230,6 +231,9 @@ func (nw *Network) RunContext(ctx context.Context, q Query) (*Answer, error) {
 func (nw *Network) runQuery(ctx context.Context, q Query) (*Answer, error) {
 	nw.wd = nw.newWatchdog(ctx)
 	defer func() { nw.wd = nil }()
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
 	if nw.cfg.Mode == Async {
 		return nw.runAsync(ctx, q)
 	}
@@ -237,6 +241,9 @@ func (nw *Network) runQuery(ctx context.Context, q Query) (*Answer, error) {
 	case OpMax, OpMin, OpSum, OpCount, OpAverage, OpRank, OpMoments:
 		return nw.aggregate(ctx, q)
 	case OpQuantile:
+		if nw.cfg.QuantileMethod == QuantileHMS {
+			return nw.quantileHMS(ctx, q.Values, q.Arg, q.Tol)
+		}
 		return nw.quantile(ctx, q.Values, q.Arg, q.Tol)
 	case OpHistogram:
 		return nw.histogram(ctx, q.Values, q.Edges)
@@ -272,6 +279,14 @@ func (nw *Network) RunAll(queries []Query, opts ...BatchOptions) ([]*Answer, Cos
 // the answers completed so far are returned alongside it (under
 // concurrency: the answers of every query preceding the failed one).
 func (nw *Network) RunAllContext(ctx context.Context, queries []Query, opts ...BatchOptions) ([]*Answer, Cost, error) {
+	// Reject structurally invalid queries before any execution — in
+	// particular before runAllParallel resolves fault bindings for the
+	// batch, which used to happen even for queries that could never run.
+	for i, q := range queries {
+		if err := q.validate(); err != nil {
+			return nil, Cost{}, fmt.Errorf("query %d (%s): %w", i, q.Op, err)
+		}
+	}
 	workers := 0
 	if len(opts) > 0 {
 		workers = opts[0].Parallelism
@@ -425,10 +440,13 @@ func (nw *Network) Histogram(values []float64, edges []float64) (*Answer, error)
 // ---- execution machinery ----
 
 // protoOut is one protocol run's output: the facade-level result, plus
-// the richer moments result when the run was an OpMoments pipeline.
+// the richer moments result when the run was an OpMoments pipeline, or a
+// pre-wrapped facade Result for runs outside the core pipelines (the HMS
+// sampling session, which bills its own phase breakdown).
 type protoOut struct {
 	res *core.Result
 	mom *core.MomentsResult
+	pre *Result
 }
 
 // protoFunc executes one full protocol run on a fresh engine.
@@ -567,6 +585,16 @@ func (nw *Network) execOnce(b *faults.Bound, op Op, run protoFunc) (res *Result,
 		return nil, nil, rerr
 	}
 	em.RunEnd(eng)
+	if out.pre != nil {
+		res = out.pre
+		res.Alive = eng.NumAlive()
+		if b != nil {
+			res.FaultEvents = b.Fired()
+			res.FaultCrashes = b.Crashed()
+			res.FaultRevives = b.Revived()
+		}
+		return res, nil, nil
+	}
 	if out.mom != nil {
 		res = &Result{
 			Value:      out.mom.Mean,
@@ -768,9 +796,6 @@ func (nw *Network) aggregate(ctx context.Context, q Query) (*Answer, error) {
 // so the overlay and the per-Op fault bindings are reused throughout —
 // the amortization the session API exists for.
 func (nw *Network) quantile(ctx context.Context, values []float64, phi, tol float64) (*Answer, error) {
-	if phi <= 0 || phi > 1 {
-		return nil, fmt.Errorf("%w: phi must be in (0,1]", ErrBadConfig)
-	}
 	if err := nw.cfg.checkValues(values); err != nil {
 		return nil, err
 	}
@@ -836,9 +861,193 @@ func (nw *Network) quantile(ctx context.Context, values []float64, phi, tol floa
 }
 
 // maxQuantileRuns caps the total aggregate runs a Quantile query may
-// spend (Min + Max + Count + bisection steps). A bisection stopped by
-// the cap reports Converged == false on its Answer.
+// spend — Min + Max + Count + bisection steps for QuantileBisect, and
+// Count + sampling session + certification probes + any fallback
+// bisection for QuantileHMS. A quantile stopped by the cap reports
+// Converged == false on its Answer.
 const maxQuantileRuns = 80
+
+// quantileHMS computes the φ-quantile with the Haeupler–Mohapatra–Su
+// sampling protocol (internal/hms; selected by Config.QuantileMethod):
+// the alive population m fixes the target rank t = ceil(φ·m) — known
+// statically on a crash-free session, measured by a Count run when
+// static crashes or a fault plan can shrink it; one O(log n)-round
+// gossip-sampling session (billed as one run under the "sample" phase)
+// localizes the t-th order statistic to a handful of candidate values;
+// and a short walk of exact Rank probes — ordinary aggregate runs, so
+// fault plans replay on them exactly as on bisection's steps — certifies
+// the exact quantile. Typically ~3 aggregate runs total where bisection
+// spends ~23, and exact rather than tol-approximate. When the walk
+// cannot certify (rank drift under an aggressive fault plan, extreme
+// loss), it falls back to value bisection inside the walk's probed
+// bracket, so the answer degrades to bisection quality rather than
+// failing. The sampling session runs without the dynamic fault plan
+// attached (static crashes and per-message loss still apply): the plan
+// carries aggregate semantics and replays on the Count/Rank runs, which
+// is what keeps HMS and bisection answering against the same faulted
+// rank function.
+func (nw *Network) quantileHMS(ctx context.Context, values []float64, phi, tol float64) (*Answer, error) {
+	if err := nw.cfg.checkValues(values); err != nil {
+		return nil, err
+	}
+	ans := &Answer{Op: OpQuantile, Converged: true}
+	bill := func(res *Result) {
+		// Bill the run — aborted steps included: the partial answer's
+		// Cost covers the work actually spent before the abort.
+		ans.Cost.Runs++
+		ans.Cost.Rounds += res.Rounds
+		ans.Cost.Messages += res.Messages
+		ans.Cost.Drops += res.Drops
+		ans.PhaseCosts = mergePhaseCosts(ans.PhaseCosts, res.PhaseCosts)
+		ans.Alive = res.Alive
+		ans.FaultEvents, ans.FaultCrashes, ans.FaultRevives = res.FaultEvents, res.FaultCrashes, res.FaultRevives
+	}
+	step := func(op Op, arg float64) (*Result, error) {
+		res, _, err := nw.execute(ctx, op, dispatch(op, values, arg))
+		if res != nil {
+			bill(res)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("quantile %s step: %w", op, err)
+		}
+		return res, nil
+	}
+	// The target rank needs the alive population size m. With no static
+	// crashes and no dynamic plan every node stays alive, so m == N is
+	// known without spending a run; otherwise a Count run measures it.
+	m := nw.cfg.N
+	if nw.cfg.CrashFraction > 0 || !nw.cfg.Faults.Empty() {
+		countRes, err := step(OpCount, 0)
+		if err != nil {
+			return nw.finishAbort(ans, err)
+		}
+		m = int(math.Round(countRes.Value))
+		if m < 1 {
+			m = 1
+		}
+	}
+	t := int(math.Ceil(phi * float64(m)))
+	if t < 1 {
+		t = 1
+	}
+	if t > m {
+		t = m
+	}
+	if err := ctx.Err(); err != nil {
+		return nw.finishAbort(ans, err)
+	}
+	var sum *hms.Summary
+	sampleRes, _, err := nw.execOnce(nil, OpQuantile, func(eng *sim.Engine, ov overlay.Overlay) (protoOut, error) {
+		s, serr := hms.Sample(eng, ov, values, hms.Options{Target: t, Count: m})
+		if serr != nil {
+			return protoOut{}, serr
+		}
+		sum = s
+		st := eng.Stats()
+		pre := &Result{
+			Value:    math.NaN(),
+			Rounds:   st.Rounds,
+			Messages: st.Messages,
+			Drops:    st.Drops,
+			PhaseCosts: []PhaseCost{{
+				Phase: hms.PhaseName, Rounds: st.Rounds,
+				Messages: st.Messages, Drops: st.Drops, Calls: st.Calls,
+			}},
+		}
+		if c, ok := s.Candidate(); ok {
+			pre.Value = c
+		}
+		return protoOut{pre: pre}, nil
+	})
+	if sampleRes != nil {
+		bill(sampleRes)
+	}
+	if err != nil {
+		if isAbort(err) {
+			return nw.finishAbort(ans, fmt.Errorf("quantile sample session: %w", err))
+		}
+		return nil, fmt.Errorf("quantile sample session: %w", err)
+	}
+	w := hms.NewWalk(sum)
+	for ans.Cost.Runs < maxQuantileRuns {
+		q, ok := w.Next()
+		if !ok {
+			break
+		}
+		rankRes, err := step(OpRank, q)
+		if err != nil {
+			return nw.finishAbort(ans, err)
+		}
+		w.Observe(q, int(math.Round(rankRes.Value)))
+	}
+	if v, exact := w.Exact(); exact && nw.cfg.Faults.Empty() {
+		ans.Value = v
+		nw.fillQuality(ans, noResidual, nil)
+		return ans, nil
+	}
+	// No trusted certificate. With a dynamic fault plan attached the
+	// walk's exactness certificates are unsound — the sampling session
+	// runs unfaulted, so its multiset can hold values the faulted Rank
+	// runs no longer count (a partition, say, shrinks the measured
+	// population to node 0's component) — and a "certified" sample may
+	// not exist in the measured multiset at all. Either way the probes
+	// still bracket the rank crossing, so finish with value bisection
+	// against the same faulted rank function the bisection reference
+	// queries: both methods then converge to the same crossing within
+	// tol, which is what the differential invariants assert.
+	// (Min/Max runs fill any missing bracket end.)
+	lo, loOK, hi, hiOK := w.Bracket()
+	clamp := !nw.cfg.Faults.Empty()
+	if !loOK || clamp {
+		minRes, err := step(OpMin, 0)
+		if err != nil {
+			return nw.finishAbort(ans, err)
+		}
+		if !loOK || lo < minRes.Value {
+			lo = minRes.Value
+		}
+	}
+	if !hiOK || clamp {
+		maxRes, err := step(OpMax, 0)
+		if err != nil {
+			return nw.finishAbort(ans, err)
+		}
+		if !hiOK || hi > maxRes.Value {
+			hi = maxRes.Value
+		}
+	}
+	// Under a plan the probed bracket is clamped into the measured
+	// [Min, Max]: aggressive churn can leave the walk bracketing a rank
+	// crossing the surviving population cannot even express, and the
+	// bisection reference never answers outside that range either.
+	if hi < lo {
+		hi = lo
+	}
+	if tol <= 0 {
+		tol = (hi - lo) / (1 << 20)
+	}
+	if tol <= 0 { // degenerate bracket
+		ans.Value = hi
+		nw.fillQuality(ans, noResidual, nil)
+		return ans, nil
+	}
+	for hi-lo > tol && ans.Cost.Runs < maxQuantileRuns {
+		mid := lo + (hi-lo)/2
+		rankRes, err := step(OpRank, mid)
+		if err != nil {
+			return nw.finishAbort(ans, err)
+		}
+		if math.Round(rankRes.Value) >= float64(t) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	ans.Converged = hi-lo <= tol
+	ans.Value = hi
+	nw.fillQuality(ans, noResidual, nil)
+	return ans, nil
+}
 
 // histogram computes the bucket counts with one Rank run per edge. Every
 // run reuses the session verbatim: the engine's crash set is derived

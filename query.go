@@ -33,8 +33,11 @@ const (
 	OpRank
 	// OpMoments computes mean and variance in one run (Complete only).
 	OpMoments
-	// OpQuantile approximates a φ-quantile by Rank bisection (composite:
-	// one Min, Max and Count run plus one Rank run per bisection step).
+	// OpQuantile computes a φ-quantile (composite). The protocol is
+	// selected by Config.QuantileMethod: Rank bisection (the default —
+	// one Min, Max and Count run plus one Rank run per bisection step)
+	// or the Haeupler–Mohapatra–Su sampling protocol (one Count run, a
+	// gossip-sampling session, and a few certifying Rank probes).
 	OpQuantile
 	// OpHistogram computes bucket counts with one Rank run per edge
 	// (composite).
@@ -98,7 +101,10 @@ func RankOf(values []float64, q float64) Query { return Query{Op: OpRank, Values
 func MomentsOf(values []float64) Query { return Query{Op: OpMoments, Values: values} }
 
 // QuantileOf requests the φ-quantile (0 < φ <= 1) within tol of the
-// value range; tol <= 0 picks range/2^20.
+// value range; tol <= 0 picks range/2^20. The executing protocol is the
+// session's Config.QuantileMethod (bisection by default; the HMS method
+// certifies the exact quantile on healthy sessions, in which case tol
+// only bounds its fallback path).
 func QuantileOf(values []float64, phi, tol float64) Query {
 	return Query{Op: OpQuantile, Values: values, Arg: phi, Tol: tol}
 }
@@ -107,6 +113,19 @@ func QuantileOf(values []float64, phi, tol float64) Query {
 // (edges[i-1], edges[i]], with open first and last buckets.
 func HistogramOf(values []float64, edges []float64) Query {
 	return Query{Op: OpHistogram, Values: values, Edges: edges}
+}
+
+// validate rejects structurally invalid queries up front — before any
+// protocol run and before RunAll's concurrent path resolves fault
+// bindings for the batch. The φ check is deliberately written as a
+// negated in-range test so NaN (for which every comparison is false)
+// is rejected too; it used to slip through the bisection loop's
+// `phi <= 0 || phi > 1` guard and surface as a silently wrong answer.
+func (q Query) validate() error {
+	if q.Op == OpQuantile && !(q.Arg > 0 && q.Arg <= 1) {
+		return fmt.Errorf("%w: Quantile phi must be in (0,1], got %v", ErrBadConfig, q.Arg)
+	}
+	return nil
 }
 
 // baseOps lists the single-run operation kinds a query dispatches:
